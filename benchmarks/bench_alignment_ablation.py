@@ -1,0 +1,77 @@
+"""E8 — Ablation: deterministic alignment vs the sampling-based baseline.
+
+Paper §2: "The above efficiency and accuracy in constructing the summary are
+an outcome of the deterministic alignment strategy of Hydra, as opposed to the
+sampling-based strategy of [DataSynth]."
+
+The benchmark builds the summary for the same workload with both strategies
+and compares (a) construction time and (b) the volumetric-error profile of the
+regenerated databases.  The statistics-guided solution selection is also
+ablated (vertex solutions only) to quantify its contribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Hydra
+from repro.verify.comparator import VolumetricComparator
+
+
+def _accuracy(metadata, aqps, **hydra_kwargs):
+    hydra = Hydra(metadata=metadata, **hydra_kwargs)
+    result = hydra.build_summary(aqps)
+    vendor_db = hydra.regenerate(result.summary)
+    verification = VolumetricComparator(database=vendor_db).verify(aqps)
+    return result, verification
+
+
+@pytest.mark.parametrize(
+    "label, kwargs",
+    [
+        ("deterministic", {"alignment": "deterministic"}),
+        ("sampling", {"alignment": "sampling", "sampling_seed": 17}),
+        ("deterministic-unguided", {"alignment": "deterministic", "guided_solutions": False}),
+    ],
+)
+def test_e8_alignment_strategy(benchmark, small_tpcds_client, label, kwargs):
+    _database, metadata, _queries, aqps = small_tpcds_client
+
+    result, verification = benchmark.pedantic(
+        lambda: _accuracy(metadata, aqps, **kwargs), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        f"E8 [{label:<24}]: exact={verification.fraction_within(0.001):6.1%}  "
+        f"within 10%={verification.fraction_within(0.1):6.1%}  "
+        f"mean err={verification.mean_relative_error():7.3%}  "
+        f"max err={verification.max_relative_error():7.2%}  "
+        f"build={result.report.total_seconds:5.2f}s"
+    )
+    benchmark.extra_info["strategy"] = label
+    benchmark.extra_info["fraction_exact"] = round(verification.fraction_within(0.001), 4)
+    benchmark.extra_info["mean_relative_error"] = round(verification.mean_relative_error(), 5)
+    benchmark.extra_info["max_relative_error"] = round(verification.max_relative_error(), 5)
+
+
+def test_e8_deterministic_beats_sampling(benchmark, small_tpcds_client):
+    """The headline comparison as a single benchmarked check."""
+    _database, metadata, _queries, aqps = small_tpcds_client
+
+    def compare():
+        _det_result, det_verify = _accuracy(metadata, aqps, alignment="deterministic")
+        _samp_result, samp_verify = _accuracy(
+            metadata, aqps, alignment="sampling", sampling_seed=17
+        )
+        return det_verify, samp_verify
+
+    det_verify, samp_verify = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print()
+    print(
+        "E8: deterministic vs sampling: "
+        f"exact {det_verify.fraction_within(0.001):.1%} vs {samp_verify.fraction_within(0.001):.1%}, "
+        f"mean error {det_verify.mean_relative_error():.3%} vs {samp_verify.mean_relative_error():.3%}"
+    )
+    assert det_verify.fraction_within(0.001) >= samp_verify.fraction_within(0.001)
+    assert det_verify.mean_relative_error() <= samp_verify.mean_relative_error()

@@ -1,0 +1,55 @@
+"""E10 — End-to-end client → vendor flow over the JSON information package.
+
+The demo's architecture (Figures 2–4) moves a single information package
+(schema + metadata + AQPs) from the client to the vendor; everything the
+vendor does — LP table, summary view, quality graph, per-query AQP comparison
+— derives from that package.  This benchmark times the complete round trip,
+including package serialisation, anonymisation, vendor-side construction,
+dataless regeneration and verification.
+"""
+
+from __future__ import annotations
+
+from repro.client.anonymizer import Anonymizer
+from repro.client.package import InformationPackage
+from repro.core.pipeline import Hydra
+from repro.verify.comparator import VolumetricComparator
+from repro.verify.report import QualityReport
+
+
+def test_e10_package_roundtrip(benchmark, small_tpcds_client, tmp_path):
+    _database, metadata, _queries, aqps = small_tpcds_client
+    package = InformationPackage(metadata=metadata, aqps=aqps, client_name="client")
+
+    def roundtrip():
+        anonymized, _mapping = Anonymizer().anonymize(package)
+        path = tmp_path / "package.json"
+        anonymized.save(path)
+        received = InformationPackage.load(path)
+        hydra = Hydra(metadata=received.metadata)
+        result = hydra.build_summary(received.aqps)
+        vendor_db = hydra.regenerate(result.summary)
+        verification = VolumetricComparator(database=vendor_db).verify(received.aqps)
+        return received, result, verification
+
+    received, result, verification = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+
+    report = QualityReport(
+        summary=result.summary,
+        build_report=result.report,
+        verification=verification,
+        aqps=received.aqps,
+    )
+    print()
+    print("E10: anonymised client -> vendor round trip")
+    print(f"package size: {received.size_bytes():,} bytes "
+          f"({received.query_count} queries, {received.constraint_count()} annotated edges)")
+    print(report.render())
+
+    benchmark.extra_info["package_bytes"] = received.size_bytes()
+    benchmark.extra_info["summary_bytes"] = result.summary.size_bytes()
+    benchmark.extra_info["fraction_within_10pct"] = verification.fraction_within(0.1)
+
+    assert verification.fraction_within(0.1) == 1.0
+    # The vendor never sees original identifiers or tuples.
+    assert "store_sales" not in received.metadata.schema.table_names

@@ -1,0 +1,83 @@
+"""E7 — Scenario construction: what-if feasibility and exabyte extrapolation.
+
+Paper §4.4: the vendor can construct synthetic AQPs by injecting cardinality
+annotations, HYDRA verifies the feasibility of the assignments, and the demo
+closes with an "extrapolated exabyte scenario" showing efficient summary
+creation and on-demand generation at that scale.
+
+The benchmark times (a) the feasibility check of injected scenarios and
+(b) summary construction for extrapolations of growing target volume, showing
+that the cost stays flat while the regenerable volume grows without bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenario import (
+    Scenario,
+    build_scenario,
+    check_feasibility,
+    exabyte_extrapolation,
+    total_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def base_scenario(small_tpcds_client):
+    _database, metadata, _queries, aqps = small_tpcds_client
+    return Scenario(name="client", metadata=metadata, aqps=aqps)
+
+
+def test_e7_feasibility_check_of_injected_scenarios(benchmark, base_scenario):
+    target = base_scenario.aqps[0]
+    nodes = list(target.plan.iter_nodes())
+    filter_positions = [
+        position for position, node in enumerate(nodes) if node.operator == "FILTER"
+    ]
+    plausible = Scenario(
+        name="single", metadata=base_scenario.metadata, aqps=[target]
+    ).with_injected_annotations(
+        {target.name: {p: max(1, (nodes[p].cardinality or 2) // 2) for p in filter_positions}}
+    )
+    absurd = Scenario(
+        name="single", metadata=base_scenario.metadata, aqps=[target]
+    ).with_injected_annotations(
+        {target.name: {p: 10 * total_rows(base_scenario.metadata) for p in filter_positions}}
+    )
+
+    def check_both():
+        return check_feasibility(plausible), check_feasibility(absurd)
+
+    plausible_report, absurd_report = benchmark.pedantic(check_both, rounds=1, iterations=1)
+    print()
+    print("E7: scenario feasibility checking")
+    print(f"  plausible injection: feasible={plausible_report.feasible}")
+    print(f"  absurd injection:    feasible={absurd_report.feasible} "
+          f"(max error {absurd_report.max_relative_error:.0%})")
+    benchmark.extra_info["plausible_feasible"] = plausible_report.feasible
+    benchmark.extra_info["absurd_feasible"] = absurd_report.feasible
+    assert plausible_report.feasible
+    assert not absurd_report.feasible
+
+
+@pytest.mark.parametrize("target_total", [10**7, 10**9, 10**12])
+def test_e7_exabyte_extrapolation(benchmark, base_scenario, target_total):
+    scenario = exabyte_extrapolation(base_scenario, target_total)
+
+    result = benchmark.pedantic(
+        lambda: build_scenario(scenario, mode="exact"), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        f"E7: extrapolation to {target_total:>16,} rows: summary "
+        f"{result.summary.size_bytes():,} bytes, built in {result.report.total_seconds:.2f}s, "
+        f"regenerable rows {result.summary.total_rows():,}"
+    )
+    benchmark.extra_info["target_total_rows"] = target_total
+    benchmark.extra_info["summary_bytes"] = result.summary.size_bytes()
+    benchmark.extra_info["build_seconds"] = round(result.report.total_seconds, 3)
+
+    assert result.summary.total_rows() >= 0.9 * target_total
+    assert result.report.total_seconds < 30

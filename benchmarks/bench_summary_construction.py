@@ -1,0 +1,58 @@
+"""E1 — Summary construction for a 131-query TPC-DS-like workload.
+
+Paper claim (§1/§2): "the summary for a large workload of 131 distinct queries
+on the TPC-DS database was generated in less than 2 minutes on a vanilla
+computing platform, occupying only a few KB of space".
+
+This benchmark measures the wall-clock time of the full vendor pipeline
+(preprocessing → region partitioning → LP solving → deterministic alignment →
+referential post-processing) for a 131-query synthetic TPC-DS-like workload,
+and records the serialised summary size.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Hydra
+
+KB = 1024
+
+
+def bench_build_summary(metadata, aqps):
+    hydra = Hydra(metadata=metadata)
+    return hydra.build_summary(aqps)
+
+
+def test_e1_summary_construction_131_queries(benchmark, tpcds_client):
+    _database, metadata, _queries, aqps = tpcds_client
+
+    result = benchmark.pedantic(
+        bench_build_summary, args=(metadata, aqps), rounds=1, iterations=1
+    )
+
+    summary_bytes = result.summary.size_bytes()
+    benchmark.extra_info["queries"] = len(aqps)
+    benchmark.extra_info["constraints"] = result.report.total_constraints()
+    benchmark.extra_info["lp_variables"] = result.report.total_lp_variables()
+    benchmark.extra_info["summary_bytes"] = summary_bytes
+    benchmark.extra_info["summary_kb"] = round(summary_bytes / KB, 1)
+    benchmark.extra_info["build_seconds"] = round(result.report.total_seconds, 2)
+
+    print()
+    print("E1: summary construction (131-query TPC-DS-like workload)")
+    print(result.report.describe())
+    print(f"summary size: {summary_bytes / KB:.1f} KB")
+
+    # Shape of the paper's claim: well under 2 minutes, summary in the KB range.
+    assert result.report.total_seconds < 120
+    assert summary_bytes < 512 * KB
+
+
+def test_e1_summary_construction_30_queries(benchmark, small_tpcds_client):
+    """Smaller workload variant, timed over multiple rounds for stability."""
+    _database, metadata, _queries, aqps = small_tpcds_client
+    result = benchmark.pedantic(
+        bench_build_summary, args=(metadata, aqps), rounds=3, iterations=1
+    )
+    benchmark.extra_info["queries"] = len(aqps)
+    benchmark.extra_info["summary_kb"] = round(result.summary.size_bytes() / KB, 1)
+    assert result.summary.size_bytes() < 256 * KB

@@ -1,0 +1,47 @@
+"""E9 — The paper's Figure-1 toy scenario, end to end.
+
+Figure 1 of the paper introduces the R/S/T schema, the example SPJ query and
+its Annotated Query Plan.  This benchmark runs the complete flow on that
+scenario — AQP extraction on the client, summary construction, dataless
+regeneration, verification — and checks that every operator cardinality is
+reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Hydra
+from repro.verify.comparator import VolumetricComparator
+
+
+def test_e9_figure1_aqp_extraction(benchmark, toy_client):
+    database, _metadata, queries, _aqps = toy_client
+    from repro.client.extractor import AQPExtractor
+
+    extractor = AQPExtractor(database=database)
+    aqp = benchmark(lambda: extractor.extract(queries[0]))
+    assert aqp.is_annotated
+    benchmark.extra_info["edges"] = len(aqp.edges())
+
+
+def test_e9_figure1_end_to_end(benchmark, toy_client):
+    _database, metadata, _queries, aqps = toy_client
+
+    def full_pipeline():
+        hydra = Hydra(metadata=metadata)
+        result = hydra.build_summary(aqps)
+        vendor_db = hydra.regenerate(result.summary)
+        verification = VolumetricComparator(database=vendor_db).verify(aqps)
+        return result, verification
+
+    result, verification = benchmark.pedantic(full_pipeline, rounds=3, iterations=1)
+
+    print()
+    print("E9: Figure-1 toy scenario")
+    print(result.report.describe())
+    print(f"summary: {result.summary.size_bytes()} bytes; "
+          f"max relative error {verification.max_relative_error():.2%}")
+    benchmark.extra_info["summary_bytes"] = result.summary.size_bytes()
+    benchmark.extra_info["max_relative_error"] = verification.max_relative_error()
+
+    assert verification.max_relative_error() == 0.0
+    assert result.summary.size_bytes() < 10_000

@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Every experiment of EXPERIMENTS.md (E1–E10) has a module in this directory.
+The fixtures below build the synthetic client environments once per session;
+individual benchmarks then measure the pipeline stage the corresponding paper
+claim is about.  Scales are chosen so the full harness runs in a few minutes
+on a laptop while preserving the *shape* of the paper's results (who wins, by
+roughly what factor); the absolute numbers of the paper were measured on the
+authors' Java/PostgreSQL implementation and are recorded for reference in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.extractor import AQPExtractor
+from repro.client.package import InformationPackage
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.toy import ToyConfig, generate_toy_database
+from repro.workload.tpcds import TPCDSConfig, generate_tpcds_database
+
+
+@pytest.fixture(scope="session")
+def tpcds_client():
+    """Synthetic TPC-DS-like client environment with a 131-query workload."""
+    database = generate_tpcds_database(TPCDSConfig(scale=0.1, seed=7))
+    extractor = AQPExtractor(database=database)
+    metadata = extractor.profile_metadata()
+    queries = generate_workload(metadata, WorkloadConfig(num_queries=131, seed=2018))
+    aqps = extractor.extract_workload(queries)
+    return database, metadata, queries, aqps
+
+
+@pytest.fixture(scope="session")
+def tpcds_package(tpcds_client):
+    _database, metadata, _queries, aqps = tpcds_client
+    return InformationPackage(metadata=metadata, aqps=aqps, client_name="tpcds-like")
+
+
+@pytest.fixture(scope="session")
+def small_tpcds_client():
+    """A smaller 30-query variant for benchmarks that iterate many times."""
+    database = generate_tpcds_database(TPCDSConfig(scale=0.05, seed=7))
+    extractor = AQPExtractor(database=database)
+    metadata = extractor.profile_metadata()
+    queries = generate_workload(metadata, WorkloadConfig(num_queries=30, seed=2018))
+    aqps = extractor.extract_workload(queries)
+    return database, metadata, queries, aqps
+
+
+@pytest.fixture(scope="session")
+def toy_client():
+    """The paper's Figure-1 scenario (E9)."""
+    database = generate_toy_database(ToyConfig(r_rows=50_000, s_rows=2_000, t_rows=200))
+    extractor = AQPExtractor(database=database)
+    metadata = extractor.profile_metadata()
+    from repro.sql.parser import parse_query
+    from repro.workload.toy import FIGURE1_QUERY
+
+    queries = [parse_query(FIGURE1_QUERY, database.schema, name="figure1")]
+    aqps = extractor.extract_workload(queries)
+    return database, metadata, queries, aqps

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that offline environments without the ``wheel`` package can still perform a
+legacy editable install (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""HYDRA: a workload-dependent dynamic big data regenerator.
+
+Reproduction of *"HYDRA: A Dynamic Big Data Regenerator"* (Sanghi, Sood,
+Singh, Haritsa, Tirthapura — PVLDB 11(12), 2018) as a pure-Python library.
+
+The public API is re-exported here; the typical flow is::
+
+    from repro import (
+        generate_tpcds_database, WorkloadConfig, generate_workload,
+        AQPExtractor, InformationPackage, Hydra, VolumetricComparator,
+    )
+
+    client_db = generate_tpcds_database()
+    extractor = AQPExtractor(database=client_db)
+    metadata = extractor.profile_metadata()
+    queries = generate_workload(metadata, WorkloadConfig(num_queries=30))
+    aqps = extractor.extract_workload(queries)
+
+    hydra = Hydra(metadata=metadata)
+    result = hydra.build_summary(aqps)                 # minuscule summary
+    vendor_db = hydra.regenerate(result.summary)       # dataless database
+    report = VolumetricComparator(vendor_db).verify(aqps)
+"""
+
+from .catalog import (
+    Column,
+    DatabaseMetadata,
+    ForeignKey,
+    Schema,
+    Table,
+    collect_metadata,
+)
+from .client import AQPExtractor, Anonymizer, InformationPackage, extract_aqps
+from .core import (
+    DatabaseSummary,
+    Hydra,
+    HydraBuildResult,
+    InfeasibleConstraintsError,
+    Scenario,
+    SummaryBuildReport,
+    TupleGenerator,
+    build_scenario,
+    check_feasibility,
+    grid_variable_count,
+)
+from .executor import DataGenRelation, ExecutionEngine, RateLimiter, VirtualClock
+from .plans import AnnotatedQueryPlan, build_plan
+from .sql import Query, parse_query
+from .storage import Database, TableData
+from .verify import QualityReport, VerificationResult, VolumetricComparator
+from .workload import (
+    TPCDSConfig,
+    TPCHConfig,
+    ToyConfig,
+    WorkloadConfig,
+    generate_toy_database,
+    generate_tpcds_database,
+    generate_tpch_database,
+    generate_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AQPExtractor",
+    "AnnotatedQueryPlan",
+    "Anonymizer",
+    "Column",
+    "DataGenRelation",
+    "Database",
+    "DatabaseMetadata",
+    "DatabaseSummary",
+    "ExecutionEngine",
+    "ForeignKey",
+    "Hydra",
+    "HydraBuildResult",
+    "InfeasibleConstraintsError",
+    "InformationPackage",
+    "QualityReport",
+    "Query",
+    "RateLimiter",
+    "Scenario",
+    "Schema",
+    "SummaryBuildReport",
+    "TPCDSConfig",
+    "TPCHConfig",
+    "Table",
+    "TableData",
+    "ToyConfig",
+    "TupleGenerator",
+    "VerificationResult",
+    "VirtualClock",
+    "VolumetricComparator",
+    "WorkloadConfig",
+    "build_plan",
+    "build_scenario",
+    "check_feasibility",
+    "collect_metadata",
+    "extract_aqps",
+    "generate_toy_database",
+    "generate_tpcds_database",
+    "generate_tpch_database",
+    "generate_workload",
+    "grid_variable_count",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Catalog: data types, schema, statistics and CODD-style metadata."""
+
+from .metadata import DatabaseMetadata, collect_metadata
+from .schema import Column, ForeignKey, Schema, SchemaError, Table
+from .statistics import ColumnStatistics, TableStatistics, build_column_statistics
+from .types import (
+    DATE,
+    FLOAT,
+    INTEGER,
+    DataType,
+    DateType,
+    FloatType,
+    IntegerType,
+    StringType,
+    TypeKind,
+    type_from_name,
+)
+
+__all__ = [
+    "Column",
+    "ColumnStatistics",
+    "DATE",
+    "DataType",
+    "DatabaseMetadata",
+    "DateType",
+    "FLOAT",
+    "FloatType",
+    "ForeignKey",
+    "INTEGER",
+    "IntegerType",
+    "Schema",
+    "SchemaError",
+    "StringType",
+    "Table",
+    "TableStatistics",
+    "TypeKind",
+    "build_column_statistics",
+    "collect_metadata",
+    "type_from_name",
+]

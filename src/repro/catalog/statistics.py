@@ -1,0 +1,193 @@
+"""Column statistics: most-common values and equi-depth histograms.
+
+The client screen of the HYDRA demo (paper Figure 3) profiles metadata
+statistics per column — the most frequent values and the bucket boundaries of
+the equi-depth histogram, mirroring PostgreSQL's ``pg_stats``.  These
+statistics are part of the CODD-style metadata transferred to the vendor; they
+are also what the vendor uses to pick plausible domains when a column is not
+constrained by any workload predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["ColumnStatistics", "TableStatistics", "build_column_statistics"]
+
+
+@dataclass
+class ColumnStatistics:
+    """Summary statistics of one column (over its internal numeric encoding)."""
+
+    column: str
+    row_count: int
+    null_count: int = 0
+    distinct_count: int = 0
+    min_value: float | None = None
+    max_value: float | None = None
+    most_common_values: list[float] = field(default_factory=list)
+    most_common_freqs: list[float] = field(default_factory=list)
+    histogram_bounds: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "column": self.column,
+            "row_count": self.row_count,
+            "null_count": self.null_count,
+            "distinct_count": self.distinct_count,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "most_common_values": list(self.most_common_values),
+            "most_common_freqs": list(self.most_common_freqs),
+            "histogram_bounds": list(self.histogram_bounds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ColumnStatistics":
+        return cls(
+            column=payload["column"],
+            row_count=int(payload["row_count"]),
+            null_count=int(payload.get("null_count", 0)),
+            distinct_count=int(payload.get("distinct_count", 0)),
+            min_value=payload.get("min_value"),
+            max_value=payload.get("max_value"),
+            most_common_values=list(payload.get("most_common_values", [])),
+            most_common_freqs=list(payload.get("most_common_freqs", [])),
+            histogram_bounds=list(payload.get("histogram_bounds", [])),
+        )
+
+    # -- selectivity estimation -----------------------------------------
+
+    def estimate_intervals_fraction(self, intervals) -> float:
+        """Estimate the fraction of rows whose value falls in an interval set.
+
+        ``intervals`` is an :class:`repro.sql.expressions.IntervalSet`; the
+        estimate clamps unbounded endpoints to the observed min/max and sums
+        the per-interval range estimates (intervals are disjoint).
+        """
+        if self.min_value is None or self.max_value is None:
+            return 0.0
+        total = 0.0
+        for interval in intervals:
+            low = interval.low if np.isfinite(interval.low) else self.min_value
+            high = interval.high if np.isfinite(interval.high) else self.max_value + 1.0
+            if high <= low:
+                continue
+            total += self.estimate_range_fraction(low, high)
+        return min(1.0, total)
+
+    def estimate_range_fraction(self, low: float, high: float) -> float:
+        """Estimate the fraction of rows with value in ``[low, high)``.
+
+        Combines the MCV list with the equi-depth histogram in the same way a
+        textbook optimiser (and PostgreSQL) would.  Used by the workload
+        generator to pick predicates with target selectivities and by the
+        scenario feasibility checker for sanity warnings.
+        """
+        if self.row_count == 0:
+            return 0.0
+        if self.min_value is None or self.max_value is None:
+            return 0.0
+        mcv_fraction = 0.0
+        mcv_total = 0.0
+        for value, freq in zip(self.most_common_values, self.most_common_freqs):
+            mcv_total += freq
+            if low <= value < high:
+                mcv_fraction += freq
+        rest_fraction = max(0.0, 1.0 - mcv_total)
+        if not self.histogram_bounds or len(self.histogram_bounds) < 2:
+            span = max(self.max_value - self.min_value, 1e-12)
+            overlap = max(0.0, min(high, self.max_value) - max(low, self.min_value))
+            return min(1.0, mcv_fraction + rest_fraction * overlap / span)
+        bounds = self.histogram_bounds
+        buckets = len(bounds) - 1
+        covered = 0.0
+        for i in range(buckets):
+            b_low, b_high = bounds[i], bounds[i + 1]
+            width = max(b_high - b_low, 1e-12)
+            overlap = max(0.0, min(high, b_high) - max(low, b_low))
+            covered += overlap / width
+        return min(1.0, mcv_fraction + rest_fraction * covered / buckets)
+
+
+@dataclass
+class TableStatistics:
+    """Row count plus per-column statistics for one table."""
+
+    table: str
+    row_count: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        if name not in self.columns:
+            raise KeyError(f"no statistics for column {name!r} of table {self.table!r}")
+        return self.columns[name]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "table": self.table,
+            "row_count": self.row_count,
+            "columns": {name: stats.to_dict() for name, stats in self.columns.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TableStatistics":
+        return cls(
+            table=payload["table"],
+            row_count=int(payload["row_count"]),
+            columns={
+                name: ColumnStatistics.from_dict(item)
+                for name, item in payload.get("columns", {}).items()
+            },
+        )
+
+
+def build_column_statistics(
+    column: str,
+    values: Sequence[float] | np.ndarray,
+    max_mcvs: int = 10,
+    histogram_buckets: int = 20,
+) -> ColumnStatistics:
+    """Compute :class:`ColumnStatistics` from raw (encoded) column values."""
+    array = np.asarray(values, dtype=np.float64)
+    row_count = int(array.size)
+    if row_count == 0:
+        return ColumnStatistics(column=column, row_count=0)
+
+    finite = array[np.isfinite(array)]
+    null_count = row_count - int(finite.size)
+    if finite.size == 0:
+        return ColumnStatistics(column=column, row_count=row_count, null_count=null_count)
+
+    unique, counts = np.unique(finite, return_counts=True)
+    distinct = int(unique.size)
+
+    order = np.argsort(counts)[::-1]
+    mcv_count = min(max_mcvs, distinct)
+    mcv_indices = order[:mcv_count]
+    most_common_values = [float(unique[i]) for i in mcv_indices]
+    most_common_freqs = [float(counts[i]) / row_count for i in mcv_indices]
+
+    mcv_set = set(most_common_values)
+    rest = finite[~np.isin(finite, list(mcv_set))] if mcv_set else finite
+    if rest.size >= 2:
+        quantiles = np.linspace(0.0, 1.0, histogram_buckets + 1)
+        bounds = np.quantile(rest, quantiles)
+        histogram_bounds = [float(b) for b in bounds]
+    else:
+        histogram_bounds = []
+
+    return ColumnStatistics(
+        column=column,
+        row_count=row_count,
+        null_count=null_count,
+        distinct_count=distinct,
+        min_value=float(finite.min()),
+        max_value=float(finite.max()),
+        most_common_values=most_common_values,
+        most_common_freqs=most_common_freqs,
+        histogram_bounds=histogram_bounds,
+    )

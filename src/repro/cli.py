@@ -1,0 +1,188 @@
+"""Command-line interface of the HYDRA reproduction.
+
+Four entry points mirror the demo's flow:
+
+* ``hydra-generate`` — create a synthetic client environment (database +
+  workload) and write the client-site information package to a JSON file;
+* ``hydra-client`` — the client step on its own: given a built-in dataset
+  name, profile metadata, extract AQPs and (optionally) anonymise;
+* ``hydra-vendor`` — the vendor step: read an information package, build the
+  regeneration summary, print the build report and save the summary;
+* ``hydra-verify`` — regenerate a database from a summary and verify
+  volumetric similarity against the package's AQPs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .client.anonymizer import Anonymizer
+from .client.extractor import AQPExtractor
+from .client.package import InformationPackage
+from .core.pipeline import Hydra
+from .core.summary import DatabaseSummary
+from .core.tuplegen import SummaryDatabaseFactory
+from .executor.rate import RateLimiter
+from .verify.comparator import VolumetricComparator
+from .verify.report import (
+    format_build_report,
+    format_error_cdf,
+    format_sample_tuples,
+    format_summary_table,
+)
+from .workload.generator import WorkloadConfig, generate_workload
+from .workload.toy import ToyConfig, generate_toy_database
+from .workload.tpcds import TPCDSConfig, generate_tpcds_database
+from .workload.tpch import TPCHConfig, generate_tpch_database
+
+__all__ = ["client_main", "vendor_main", "verify_main", "generate_main"]
+
+
+def _build_database(dataset: str, scale: float, seed: int):
+    if dataset == "tpcds":
+        return generate_tpcds_database(TPCDSConfig(scale=scale, seed=seed))
+    if dataset == "tpch":
+        return generate_tpch_database(TPCHConfig(scale=scale, seed=seed))
+    if dataset == "toy":
+        return generate_toy_database(ToyConfig(seed=seed))
+    raise SystemExit(f"unknown dataset {dataset!r}; choose from tpcds, tpch, toy")
+
+
+def _build_package(dataset: str, scale: float, seed: int, queries: int) -> InformationPackage:
+    database = _build_database(dataset, scale, seed)
+    extractor = AQPExtractor(database=database)
+    metadata = extractor.profile_metadata()
+    workload = generate_workload(
+        metadata, WorkloadConfig(num_queries=queries, seed=seed)
+    )
+    aqps = extractor.extract_workload(workload)
+    return InformationPackage(metadata=metadata, aqps=aqps, client_name=dataset)
+
+
+def generate_main(argv: Sequence[str] | None = None) -> int:
+    """Generate a synthetic client environment and write its package."""
+    parser = argparse.ArgumentParser(
+        prog="hydra-generate",
+        description="Generate a synthetic client information package.",
+    )
+    parser.add_argument("--dataset", default="tpcds", choices=["tpcds", "tpch", "toy"])
+    parser.add_argument("--scale", type=float, default=0.2, help="data scale factor")
+    parser.add_argument("--queries", type=int, default=30, help="number of workload queries")
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--output", type=Path, default=Path("package.json"))
+    args = parser.parse_args(argv)
+
+    package = _build_package(args.dataset, args.scale, args.seed, args.queries)
+    package.save(args.output)
+    print(package.describe())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def client_main(argv: Sequence[str] | None = None) -> int:
+    """Client site: profile, extract AQPs and optionally anonymise."""
+    parser = argparse.ArgumentParser(
+        prog="hydra-client",
+        description="Build (and optionally anonymise) the client information package.",
+    )
+    parser.add_argument("--dataset", default="tpcds", choices=["tpcds", "tpch", "toy"])
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--queries", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--anonymize", action="store_true")
+    parser.add_argument("--output", type=Path, default=Path("package.json"))
+    args = parser.parse_args(argv)
+
+    package = _build_package(args.dataset, args.scale, args.seed, args.queries)
+    if args.anonymize:
+        package, _mapping = Anonymizer().anonymize(package)
+    package.save(args.output)
+    print(package.describe())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def vendor_main(argv: Sequence[str] | None = None) -> int:
+    """Vendor site: build the regeneration summary from a package."""
+    parser = argparse.ArgumentParser(
+        prog="hydra-vendor",
+        description="Build the HYDRA database summary from an information package.",
+    )
+    parser.add_argument("package", type=Path, help="information package JSON")
+    parser.add_argument("--mode", default="exact", choices=["exact", "soft"])
+    parser.add_argument(
+        "--alignment", default="deterministic", choices=["deterministic", "sampling"]
+    )
+    parser.add_argument("--output", type=Path, default=Path("summary.json"))
+    args = parser.parse_args(argv)
+
+    package = InformationPackage.load(args.package)
+    hydra = Hydra(metadata=package.metadata, mode=args.mode, alignment=args.alignment)
+    result = hydra.build_summary(package.aqps)
+    result.summary.save(args.output)
+
+    print(format_build_report(result.report))
+    print()
+    print(format_summary_table(result.summary))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def verify_main(argv: Sequence[str] | None = None) -> int:
+    """Regenerate from a summary and verify volumetric similarity."""
+    parser = argparse.ArgumentParser(
+        prog="hydra-verify",
+        description="Verify volumetric similarity of a regenerated database.",
+    )
+    parser.add_argument("package", type=Path, help="information package JSON")
+    parser.add_argument("summary", type=Path, help="database summary JSON")
+    parser.add_argument("--rows-per-second", type=float, default=None)
+    parser.add_argument(
+        "--sample", type=str, default=None,
+        help="also print sample tuples of the given relation",
+    )
+    args = parser.parse_args(argv)
+
+    package = InformationPackage.load(args.package)
+    summary = DatabaseSummary.load(args.summary)
+    hydra = Hydra(metadata=package.metadata)
+    limiter = (
+        RateLimiter(rows_per_second=args.rows_per_second)
+        if args.rows_per_second
+        else RateLimiter.unlimited()
+    )
+    database = hydra.regenerate(summary, rate_limiter=limiter)
+    result = VolumetricComparator(database=database).verify(package.aqps)
+    print(format_error_cdf(result))
+
+    if args.sample:
+        factory = SummaryDatabaseFactory(summary=summary)
+        generator = factory.generator(args.sample)
+        count = min(5, generator.row_count)
+        indices = [int(i * max(1, generator.row_count // max(count, 1))) for i in range(count)]
+        print()
+        print(f"sample tuples of {args.sample}:")
+        print(format_sample_tuples(generator, indices))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover - thin dispatcher
+    """Single-binary dispatcher (``python -m repro.cli <command> ...``)."""
+    parser = argparse.ArgumentParser(prog="hydra", description=__doc__)
+    parser.add_argument("command", choices=["generate", "client", "vendor", "verify"])
+    parser.add_argument("rest", nargs=argparse.REMAINDER)
+    args = parser.parse_args(argv)
+    dispatch = {
+        "generate": generate_main,
+        "client": client_main,
+        "vendor": vendor_main,
+        "verify": verify_main,
+    }
+    return dispatch[args.command](args.rest)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

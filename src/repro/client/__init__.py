@@ -1,0 +1,13 @@
+"""Client site: AQP extraction, anonymisation and the information package."""
+
+from .anonymizer import AnonymizationMap, Anonymizer
+from .extractor import AQPExtractor, extract_aqps
+from .package import InformationPackage
+
+__all__ = [
+    "AQPExtractor",
+    "AnonymizationMap",
+    "Anonymizer",
+    "InformationPackage",
+    "extract_aqps",
+]

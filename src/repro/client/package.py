@@ -1,0 +1,98 @@
+"""The information package shipped from the client to the vendor.
+
+Only three things cross the privacy boundary (paper Figure 2): the schema,
+the CODD-style metadata (row counts and column statistics), and the query
+workload with its AQPs.  No tuples ever leave the client.  The package is a
+single JSON document so it can be inspected, archived, anonymised and
+replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..catalog.metadata import DatabaseMetadata
+from ..plans.aqp import AnnotatedQueryPlan
+
+__all__ = ["InformationPackage"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class InformationPackage:
+    """Schema + metadata + AQPs, as produced by the client site."""
+
+    metadata: DatabaseMetadata
+    aqps: list[AnnotatedQueryPlan] = field(default_factory=list)
+    client_name: str = "client"
+    notes: str = ""
+
+    @property
+    def query_count(self) -> int:
+        return len(self.aqps)
+
+    def constraint_count(self) -> int:
+        return sum(len(aqp.edges()) for aqp in self.aqps)
+
+    def aqp(self, name: str) -> AnnotatedQueryPlan:
+        for aqp in self.aqps:
+            if aqp.name == name:
+                return aqp
+        raise KeyError(f"package has no AQP named {name!r}")
+
+    def add_aqps(self, aqps: Iterable[AnnotatedQueryPlan]) -> None:
+        self.aqps.extend(aqps)
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "client_name": self.client_name,
+            "notes": self.notes,
+            "metadata": self.metadata.to_dict(),
+            "aqps": [aqp.to_dict() for aqp in self.aqps],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InformationPackage":
+        version = payload.get("format_version", _FORMAT_VERSION)
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported information-package version {version}")
+        return cls(
+            metadata=DatabaseMetadata.from_dict(payload["metadata"]),
+            aqps=[AnnotatedQueryPlan.from_dict(item) for item in payload.get("aqps", [])],
+            client_name=payload.get("client_name", "client"),
+            notes=payload.get("notes", ""),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "InformationPackage":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InformationPackage":
+        return cls.from_json(Path(path).read_text())
+
+    def size_bytes(self) -> int:
+        """Serialised size of the package (what actually gets transferred)."""
+        return len(self.to_json().encode("utf-8"))
+
+    def describe(self) -> str:
+        tables = ", ".join(self.metadata.schema.table_names)
+        return (
+            f"information package from {self.client_name!r}: "
+            f"{len(self.metadata.schema)} tables ({tables}), "
+            f"{self.query_count} queries, {self.constraint_count()} annotated edges, "
+            f"{self.size_bytes()} bytes"
+        )

@@ -1,0 +1,49 @@
+"""Exception hierarchy of the HYDRA core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "HydraError",
+    "DecompositionError",
+    "RegionExplosionError",
+    "SolverError",
+    "InfeasibleConstraintsError",
+    "SummaryError",
+]
+
+
+class HydraError(Exception):
+    """Base class for all HYDRA-specific errors."""
+
+
+class DecompositionError(HydraError):
+    """The workload cannot be decomposed into per-relation constraints.
+
+    Raised for plan shapes outside the supported SPJ / key-FK-join class
+    (e.g. joins that are not along a declared foreign key).
+    """
+
+
+class RegionExplosionError(HydraError):
+    """Region partitioning exceeded the configured variable budget."""
+
+
+class SolverError(HydraError):
+    """The LP solver failed (numerical issues or missing backend)."""
+
+
+class InfeasibleConstraintsError(HydraError):
+    """The per-relation LP has no feasible solution in exact mode.
+
+    Scenario construction catches this to report which injected cardinality
+    assignments are unrealisable.
+    """
+
+    def __init__(self, relation: str, message: str, residuals: dict[str, float] | None = None):
+        super().__init__(f"constraints on relation {relation!r} are infeasible: {message}")
+        self.relation = relation
+        self.residuals = residuals or {}
+
+
+class SummaryError(HydraError):
+    """The database summary is malformed or inconsistent with its schema."""

@@ -1,0 +1,110 @@
+"""Linear-program formulation over a region (or grid) partition.
+
+For one relation with partition ``r_1 .. r_n`` and cardinality constraints
+``(P_1, k_1) .. (P_m, k_m)`` the LP is
+
+    Σ_{r_j satisfies P_i} x_j  =  k_i        for every constraint i
+    Σ_j x_j                    =  |R|        (row-count constraint)
+    x_j ≥ 0
+
+Because each region either entirely satisfies or entirely misses each
+predicate (regions are atoms of the predicate algebra), membership reduces to
+the region's signature and the constraint matrix is 0/1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .regions import Region
+
+__all__ = ["LPProblem", "build_lp"]
+
+
+@dataclass
+class LPProblem:
+    """A per-relation cardinality LP (equality constraints, x ≥ 0)."""
+
+    relation: str
+    matrix: np.ndarray                 # shape (m, n), 0/1 entries
+    rhs: np.ndarray                    # shape (m,)
+    constraint_labels: list[str]       # provenance of each row (query#operator)
+    region_count: int
+    row_count_index: int | None = None # which row is the total-row-count row
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_variables(self) -> int:
+        return self.region_count
+
+    @property
+    def num_constraints(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def residuals(self, solution: np.ndarray) -> np.ndarray:
+        """Signed residual ``A x − b`` of a candidate solution."""
+        return self.matrix @ np.asarray(solution, dtype=np.float64) - self.rhs
+
+    def relative_errors(self, solution: np.ndarray) -> np.ndarray:
+        """Per-constraint relative error |A x − b| / max(b, 1)."""
+        residual = np.abs(self.residuals(solution))
+        scale = np.maximum(self.rhs, 1.0)
+        return residual / scale
+
+    def describe(self) -> str:
+        return (
+            f"LP[{self.relation}]: {self.num_variables} variables, "
+            f"{self.num_constraints} constraints"
+        )
+
+
+def build_lp(
+    relation: str,
+    regions: Sequence[Region],
+    cardinalities: Sequence[int],
+    constraint_labels: Sequence[str] | None = None,
+    row_count: int | None = None,
+) -> LPProblem:
+    """Assemble the per-relation LP from a partition and its constraints.
+
+    ``cardinalities[i]`` is the annotated count of the i-th predicate used to
+    build the partition (so region ``r`` contributes to row ``i`` exactly when
+    ``i ∈ r.signature``).  When ``row_count`` is given an extra all-ones row
+    pins the relation's total size.
+    """
+    num_regions = len(regions)
+    num_constraints = len(cardinalities)
+    labels = list(constraint_labels) if constraint_labels is not None else [
+        f"constraint_{i}" for i in range(num_constraints)
+    ]
+    if len(labels) != num_constraints:
+        raise ValueError("constraint_labels length must match cardinalities")
+
+    rows = num_constraints + (1 if row_count is not None else 0)
+    matrix = np.zeros((rows, num_regions), dtype=np.float64)
+    rhs = np.zeros(rows, dtype=np.float64)
+
+    for i, cardinality in enumerate(cardinalities):
+        rhs[i] = float(cardinality)
+        for region in regions:
+            if region.satisfies(i):
+                matrix[i, region.index] = 1.0
+
+    row_count_index: int | None = None
+    if row_count is not None:
+        row_count_index = num_constraints
+        matrix[row_count_index, :] = 1.0
+        rhs[row_count_index] = float(row_count)
+        labels = labels + ["row_count"]
+
+    return LPProblem(
+        relation=relation,
+        matrix=matrix,
+        rhs=rhs,
+        constraint_labels=labels,
+        region_count=num_regions,
+        row_count_index=row_count_index,
+    )

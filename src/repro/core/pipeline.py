@@ -1,0 +1,499 @@
+"""The end-to-end HYDRA vendor pipeline.
+
+``Hydra`` wires together the components of the paper's architecture
+(Figure 2) on the vendor side:
+
+    AQPs + metadata
+        → Preprocessor (per-relation constraint decomposition)
+        → LP Formulator (region partitioning, one LP per relation)
+        → LP solver (SciPy/HiGHS standing in for Z3)
+        → Summary Generator (deterministic alignment)
+        → referential-integrity post-processing
+        → database summary
+        → Tuple Generator / datagen scan (dynamic regeneration)
+
+Relations are processed in topological order of the foreign-key graph so that
+borrowed predicates can be grounded against the already-aligned referenced
+relations.  The pipeline records per-relation build statistics (LP size,
+solve time, residual errors, grid-baseline complexity) — the numbers the
+demo's vendor interface tabulates and that the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Mapping, Sequence
+
+import numpy as np
+
+from ..catalog.metadata import DatabaseMetadata
+from ..catalog.schema import Table
+from ..executor.datagen import DataGenRelation
+from ..executor.rate import RateLimiter
+from ..plans.aqp import AnnotatedQueryPlan
+from ..sql.expressions import BoxCondition, Interval, IntervalSet
+from ..storage.database import Database, MaterializedRelation
+from .alignment import AlignedRelation, DeterministicAligner
+from .constraints import CardinalityConstraint, SymbolicPredicate
+from .errors import InfeasibleConstraintsError
+from .grid import grid_variable_count
+from .lp import build_lp
+from .preprocessor import WorkloadConstraints, decompose_workload
+from .refint import ReferentialReport, enforce_referential_integrity
+from .regions import RegionPartitioner
+from .sampling import SamplingAligner
+from .solver import LPSolver
+from .summary import DatabaseSummary
+from .tuplegen import SummaryDatabaseFactory, TupleGenerator
+
+__all__ = ["RelationBuildInfo", "SummaryBuildReport", "HydraBuildResult", "Hydra"]
+
+AlignmentStrategy = Literal["deterministic", "sampling"]
+SolveMode = Literal["exact", "soft"]
+
+
+@dataclass
+class RelationBuildInfo:
+    """Build statistics of one relation (one row of the demo's LP table)."""
+
+    relation: str
+    row_count: int
+    num_constraints: int
+    num_regions: int
+    grid_variables: int | None
+    partition_seconds: float
+    solve_seconds: float
+    status: str
+    max_relative_error: float
+    fallback_to_soft: bool = False
+
+    def variable_reduction_factor(self) -> float | None:
+        """How many times fewer variables than the grid baseline."""
+        if self.grid_variables is None or self.num_regions == 0:
+            return None
+        return self.grid_variables / self.num_regions
+
+
+@dataclass
+class SummaryBuildReport:
+    """Aggregate statistics of one summary construction run."""
+
+    relations: dict[str, RelationBuildInfo] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    referential: ReferentialReport = field(default_factory=ReferentialReport)
+
+    def total_lp_variables(self) -> int:
+        return sum(info.num_regions for info in self.relations.values())
+
+    def total_grid_variables(self) -> int:
+        return sum(
+            info.grid_variables or 0 for info in self.relations.values()
+        )
+
+    def total_constraints(self) -> int:
+        return sum(info.num_constraints for info in self.relations.values())
+
+    def max_relative_error(self) -> float:
+        if not self.relations:
+            return 0.0
+        return max(info.max_relative_error for info in self.relations.values())
+
+    def describe(self) -> str:
+        lines = [
+            f"{'relation':<20} {'rows':>12} {'constraints':>12} {'regions':>9} "
+            f"{'grid vars':>14} {'solve (s)':>10} {'max rel err':>12}"
+        ]
+        for info in self.relations.values():
+            grid = "-" if info.grid_variables is None else str(info.grid_variables)
+            lines.append(
+                f"{info.relation:<20} {info.row_count:>12} {info.num_constraints:>12} "
+                f"{info.num_regions:>9} {grid:>14} {info.solve_seconds:>10.4f} "
+                f"{info.max_relative_error:>12.4%}"
+            )
+        lines.append(
+            f"total: {self.total_lp_variables()} LP variables, "
+            f"{self.total_constraints()} constraints, "
+            f"{self.total_seconds:.3f}s wall clock"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class HydraBuildResult:
+    """The summary together with its build report."""
+
+    summary: DatabaseSummary
+    report: SummaryBuildReport
+
+    def size_bytes(self) -> int:
+        return self.summary.size_bytes()
+
+
+@dataclass
+class Hydra:
+    """The vendor-site regeneration pipeline.
+
+    Parameters
+    ----------
+    metadata:
+        CODD-style metadata (schema + statistics) received from the client.
+    mode:
+        ``"exact"`` raises on infeasible constraint sets, ``"soft"`` minimises
+        the L1 violation instead.  With ``fallback_to_soft`` (default) an
+        exact-mode infeasibility automatically falls back to the soft solve
+        for that relation, which mirrors HYDRA absorbing small
+        inconsistencies rather than failing the whole build.
+    alignment:
+        ``"deterministic"`` (the paper's strategy) or ``"sampling"`` (the
+        DataSynth-style baseline used by the ablation experiment).
+    compute_grid_baseline:
+        Also compute the grid-partitioning variable count per relation (cheap,
+        used by the LP-complexity experiment).
+    guided_solutions:
+        In exact mode, pick — for relations that are referenced through
+        foreign keys — the feasible LP solution closest (L1) to per-region
+        estimates derived from the client statistics.  This keeps predicate
+        overlaps of referenced relations populated, which preserves the
+        feasibility of the referencing relations' constraints; disabling it
+        reverts to an arbitrary vertex solution (useful for ablations).
+    """
+
+    metadata: DatabaseMetadata
+    mode: SolveMode = "exact"
+    alignment: AlignmentStrategy = "deterministic"
+    fallback_to_soft: bool = True
+    compute_grid_baseline: bool = True
+    guided_solutions: bool = True
+    max_regions: int = 200_000
+    sampling_seed: int = 0
+    row_count_overrides: dict[str, int] = field(default_factory=dict)
+
+    # -- public API --------------------------------------------------------
+
+    def build_summary(self, aqps: Iterable[AnnotatedQueryPlan]) -> HydraBuildResult:
+        """Run the full pipeline over a workload of AQPs."""
+        start = time.perf_counter()
+        aqps = list(aqps)
+        workload = decompose_workload(aqps, self.metadata)
+
+        report = SummaryBuildReport()
+        summary = DatabaseSummary(schema=self.metadata.schema)
+        aligned: dict[str, AlignedRelation] = {}
+
+        for table_name in self.metadata.schema.topological_order():
+            table = self.metadata.schema.table(table_name)
+            info, aligned_relation = self._build_relation(table, workload, aligned)
+            aligned[table_name] = aligned_relation
+            summary.add_relation(aligned_relation.summary)
+            report.relations[table_name] = info
+
+        report.referential = enforce_referential_integrity(summary)
+        summary.validate()
+        report.total_seconds = time.perf_counter() - start
+        summary.build_info = {
+            "mode": self.mode,
+            "alignment": self.alignment,
+            "total_seconds": report.total_seconds,
+            "lp_variables": report.total_lp_variables(),
+            "constraints": report.total_constraints(),
+        }
+        return HydraBuildResult(summary=summary, report=report)
+
+    def regenerate(
+        self,
+        summary: DatabaseSummary,
+        rate_limiter: RateLimiter | None = None,
+        materialize: Iterable[str] = (),
+        batch_size: int = 8192,
+    ) -> Database:
+        """Create a (mostly dataless) database from a summary.
+
+        Relations listed in ``materialize`` are materialised eagerly through
+        their tuple generator; all others are attached as ``datagen``
+        relations that regenerate rows on demand during query execution.
+        """
+        factory = SummaryDatabaseFactory(summary=summary)
+        database = Database(schema=summary.schema, providers={})
+        materialize_set = set(materialize)
+        for table_name in summary.relations:
+            generator = factory.generator(table_name)
+            relation = DataGenRelation(
+                source=generator,
+                rate_limiter=rate_limiter or RateLimiter.unlimited(),
+                batch_size=batch_size,
+            )
+            if table_name in materialize_set:
+                table = summary.schema.table(table_name)
+                database.attach(table_name, MaterializedRelation(relation.materialize(table)))
+            else:
+                database.attach(table_name, relation)
+        return database
+
+    def tuple_generator(self, summary: DatabaseSummary, table_name: str) -> TupleGenerator:
+        """Convenience accessor for a single relation's tuple generator."""
+        return SummaryDatabaseFactory(summary=summary).generator(table_name)
+
+    # -- per-relation processing --------------------------------------------
+
+    def _row_count(self, table_name: str) -> int:
+        if table_name in self.row_count_overrides:
+            return int(self.row_count_overrides[table_name])
+        return self.metadata.row_count(table_name)
+
+    def _build_relation(
+        self,
+        table: Table,
+        workload: WorkloadConstraints,
+        aligned: Mapping[str, AlignedRelation],
+    ) -> tuple[RelationBuildInfo, AlignedRelation]:
+        relation_constraints = workload.for_relation(table.name)
+        row_count = self._row_count(table.name)
+        scale = self._annotation_scale(table.name, row_count, relation_constraints.row_count)
+
+        constraints = [
+            constraint
+            for constraint in relation_constraints.deduplicated()
+            if not constraint.predicate.is_trivial
+        ]
+
+        grounded_boxes: list[BoxCondition] = []
+        cardinalities: list[int] = []
+        labels: list[str] = []
+        for constraint in constraints:
+            grounded_boxes.append(self._ground(constraint.predicate, table, aligned))
+            cardinalities.append(int(round(constraint.cardinality * scale)))
+            labels.append(constraint.source)
+
+        # Borrowed (tracking) predicates shape the partition but add no LP row:
+        # they are appended after the constraint boxes so constraint indices
+        # keep matching the LP rows.
+        tracking_boxes = [
+            self._ground(predicate, table, aligned)
+            for predicate in relation_constraints.tracking
+        ]
+        partition_boxes = grounded_boxes + [
+            box for box in tracking_boxes if box not in grounded_boxes
+        ]
+
+        domain = self._domain_box(table, aligned)
+        discrete = {column.name: column.dtype.is_discrete for column in table.columns}
+
+        partition_start = time.perf_counter()
+        partitioner = RegionPartitioner(
+            discrete=discrete, domain=domain, max_regions=self.max_regions
+        )
+        regions = partitioner.partition(partition_boxes)
+        partition_seconds = time.perf_counter() - partition_start
+
+        problem = build_lp(
+            relation=table.name,
+            regions=regions,
+            cardinalities=cardinalities,
+            constraint_labels=labels,
+            row_count=row_count,
+        )
+
+        # Statistics-guided solution selection is applied to *referenced*
+        # relations only: that is where an arbitrary vertex solution can empty
+        # out predicate overlaps and break the feasibility of referencing
+        # relations.  Relations nothing points at (the fact tables) keep the
+        # sparse vertex solution, which also keeps their summaries minuscule.
+        targets = None
+        is_referenced = bool(self.metadata.schema.referencing_tables(table.name))
+        if self.mode == "exact" and self.guided_solutions and is_referenced:
+            targets = self._region_targets(table, regions, row_count, aligned)
+
+        fallback = False
+        solver = LPSolver(mode=self.mode)
+        try:
+            solution = solver.solve(problem, targets=targets)
+        except InfeasibleConstraintsError:
+            if self.mode == "exact" and self.fallback_to_soft:
+                fallback = True
+                solution = LPSolver(mode="soft").solve(problem)
+            else:
+                raise
+
+        aligner = self._make_aligner(table)
+        ref_row_counts = {
+            name: relation.total_rows for name, relation in aligned.items()
+        }
+        aligned_relation = aligner.align(
+            table=table,
+            regions=regions,
+            counts=solution.integral_counts,
+            ref_row_counts=ref_row_counts,
+            domain=domain,
+        )
+
+        grid_vars = (
+            grid_variable_count(grounded_boxes, domain)
+            if self.compute_grid_baseline
+            else None
+        )
+        info = RelationBuildInfo(
+            relation=table.name,
+            row_count=row_count,
+            num_constraints=len(constraints),
+            num_regions=len(regions),
+            grid_variables=grid_vars,
+            partition_seconds=partition_seconds,
+            solve_seconds=solution.solve_seconds,
+            status=solution.status,
+            max_relative_error=solution.max_relative_error,
+            fallback_to_soft=fallback,
+        )
+        return info, aligned_relation
+
+    def _annotation_scale(self, table_name: str, target_rows: int, metadata_rows: int) -> float:
+        """Scale factor applied to constraint cardinalities.
+
+        When the caller overrides a relation's row count (scenario scaling),
+        the workload's absolute cardinalities are scaled proportionally so the
+        constraint set remains consistent — this is how the demo's
+        "extrapolated exabyte scenario" is modelled.
+        """
+        del table_name
+        if metadata_rows <= 0:
+            return 1.0
+        if target_rows == metadata_rows:
+            return 1.0
+        return target_rows / metadata_rows
+
+    def _make_aligner(self, table: Table):
+        statistics = self.metadata.statistics.get(table.name)
+        if self.alignment == "sampling":
+            return SamplingAligner(statistics=statistics, seed=self.sampling_seed)
+        return DeterministicAligner(statistics=statistics)
+
+    # -- statistics-guided region targets --------------------------------------
+
+    def _region_targets(
+        self,
+        table: Table,
+        regions: Sequence,
+        row_count: int,
+        aligned: Mapping[str, AlignedRelation],
+    ) -> np.ndarray:
+        """Per-region row-count estimates from the client statistics.
+
+        Each region's expected size is ``row_count`` times the product of its
+        per-column selectivities, estimated per column from the client's
+        MCV/histogram statistics (value columns) or uniformly over the
+        regenerated referenced relation (foreign-key columns) — the usual
+        attribute-independence assumption.  The estimates are normalised to
+        sum to the relation's row count.
+        """
+        statistics = self.metadata.statistics.get(table.name)
+        fk_totals = {
+            fk.column: float(
+                aligned[fk.ref_table].total_rows
+                if fk.ref_table in aligned
+                else self._row_count(fk.ref_table)
+            )
+            for fk in table.foreign_keys
+        }
+        estimates = np.zeros(len(regions), dtype=np.float64)
+        for region in regions:
+            fraction = 0.0
+            for box in region.boxes:
+                piece = 1.0
+                for column, intervals in box.conditions.items():
+                    if column in fk_totals and fk_totals[column] > 0:
+                        bounded = intervals.intersect(
+                            IntervalSet([Interval(0.0, fk_totals[column])])
+                        )
+                        piece *= min(1.0, bounded.count_integers() / fk_totals[column])
+                    elif statistics is not None and column in statistics.columns:
+                        piece *= statistics.columns[column].estimate_intervals_fraction(
+                            intervals
+                        )
+                    # Columns without statistics contribute no information.
+                    if piece == 0.0:
+                        break
+                fraction += piece
+            estimates[region.index] = fraction
+        total = estimates.sum()
+        if total <= 0:
+            return np.full(len(regions), row_count / max(len(regions), 1))
+        return estimates * (row_count / total)
+
+    # -- grounding -----------------------------------------------------------
+
+    def _ground(
+        self,
+        predicate: SymbolicPredicate,
+        table: Table,
+        aligned: Mapping[str, AlignedRelation],
+    ) -> BoxCondition:
+        """Ground a symbolic predicate into a box over the relation's columns.
+
+        Conditions borrowed through foreign keys are translated into pk-index
+        interval sets using the already-aligned referenced relations.
+        """
+        box = predicate.box
+        for fk_column, referenced in predicate.references:
+            if referenced.table not in aligned:
+                raise InfeasibleConstraintsError(
+                    table.name,
+                    f"referenced relation {referenced.table!r} has not been aligned yet "
+                    "(foreign-key graph is not being processed in topological order)",
+                )
+            ref_relation = aligned[referenced.table]
+            ref_table = self.metadata.schema.table(referenced.table)
+            ref_box = self._ground(referenced.predicate, ref_table, aligned)
+            intervals = ref_relation.pk_intervals_matching(ref_box)
+            box = box.with_condition(fk_column, intervals)
+        return box
+
+    # -- domains -------------------------------------------------------------
+
+    def _domain_box(
+        self, table: Table, aligned: Mapping[str, AlignedRelation]
+    ) -> BoxCondition:
+        """Domain bounds per column: statistics for value columns, pk-index
+        range of the referenced relation for foreign-key columns."""
+        conditions: dict[str, IntervalSet] = {}
+        statistics = self.metadata.statistics.get(table.name)
+        for column in table.columns:
+            if column.name == table.primary_key:
+                continue
+            fk = table.foreign_key_for(column.name)
+            if fk is not None:
+                if fk.ref_table in aligned:
+                    upper = float(aligned[fk.ref_table].total_rows)
+                else:
+                    upper = float(self._row_count(fk.ref_table))
+                conditions[column.name] = IntervalSet([Interval(0.0, max(upper, 1.0))])
+                continue
+            if statistics is None or column.name not in statistics.columns:
+                continue
+            column_stats = statistics.columns[column.name]
+            if column_stats.min_value is None or column_stats.max_value is None:
+                continue
+            low = float(column_stats.min_value)
+            high = float(column_stats.max_value)
+            padding = 1.0 if column.dtype.is_discrete else max(abs(high), 1.0) * 1e-9
+            conditions[column.name] = IntervalSet([Interval(low, high + padding)])
+        return BoxCondition(conditions)
+
+
+def constraint_count(constraints: Iterable[CardinalityConstraint]) -> int:
+    """Number of non-trivial constraints (helper shared by benchmarks)."""
+    return sum(1 for constraint in constraints if not constraint.predicate.is_trivial)
+
+
+def scale_row_counts(metadata: DatabaseMetadata, factor: float) -> dict[str, int]:
+    """Row-count overrides scaling every relation by ``factor``."""
+    return {
+        name: max(1, int(round(stats.row_count * factor)))
+        for name, stats in metadata.statistics.items()
+    }
+
+
+def rounded_counts(counts: np.ndarray) -> np.ndarray:
+    """Re-exported rounding helper (kept for API stability of benchmarks)."""
+    from .solver import round_preserving_total
+
+    return round_preserving_total(counts)

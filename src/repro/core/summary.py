@@ -1,0 +1,277 @@
+"""The memory-resident database summary — HYDRA's central artefact.
+
+A summary is "minuscule": per relation it stores one row per region of the
+LP solution, and each summary row carries
+
+* ``#TUPLES`` — how many tuples share the row's value vector (exactly the
+  ``#TUPLES`` column of the paper's Figure 4);
+* a representative value for every non-key attribute;
+* for every foreign-key attribute, the union of referenced primary-key
+  *index intervals* the tuples of this row may point to (the deterministic
+  alignment made these contiguous per referenced region).
+
+Primary keys are not stored at all — they are emitted as auto-numbers during
+regeneration, as the paper describes.  The summary is JSON-serialisable, and
+its serialised size is the "few KB" metric of experiment E1.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..catalog.schema import Schema, Table
+from ..sql.expressions import IntervalSet
+from .errors import SummaryError
+
+__all__ = ["FKReference", "SummaryRow", "RelationSummary", "DatabaseSummary"]
+
+
+@dataclass(frozen=True)
+class FKReference:
+    """Admissible referenced-pk index intervals for one foreign-key column."""
+
+    ref_table: str
+    intervals: IntervalSet
+
+    def target_count(self) -> int:
+        """Number of distinct referenced pk indices available."""
+        return self.intervals.count_integers()
+
+    def kth_target(self, k: int) -> int:
+        """The k-th admissible referenced pk index (0-based, round-robin)."""
+        total = self.target_count()
+        if total <= 0:
+            raise SummaryError(
+                f"foreign-key reference to {self.ref_table!r} has no admissible target"
+            )
+        k = int(k) % total
+        for interval in self.intervals:
+            size = interval.count_integers()
+            if k < size:
+                return int(np.ceil(interval.low)) + k
+            k -= size
+        raise AssertionError("unreachable: k exceeded interval sizes")
+
+    def targets_for(self, offsets: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`kth_target` for an array of per-row offsets."""
+        total = self.target_count()
+        if total <= 0:
+            raise SummaryError(
+                f"foreign-key reference to {self.ref_table!r} has no admissible target"
+            )
+        offsets = np.asarray(offsets, dtype=np.int64) % total
+        sizes = np.array([interval.count_integers() for interval in self.intervals], dtype=np.int64)
+        starts = np.array(
+            [int(np.ceil(interval.low)) for interval in self.intervals], dtype=np.int64
+        )
+        boundaries = np.cumsum(sizes)
+        which = np.searchsorted(boundaries, offsets, side="right")
+        previous = np.concatenate(([0], boundaries[:-1]))
+        return starts[which] + (offsets - previous[which])
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"ref_table": self.ref_table, "intervals": self.intervals.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FKReference":
+        return cls(
+            ref_table=payload["ref_table"],
+            intervals=IntervalSet.from_dict(payload["intervals"]),
+        )
+
+
+@dataclass
+class SummaryRow:
+    """One region's contribution to a relation summary."""
+
+    count: int
+    values: dict[str, float] = field(default_factory=dict)
+    fk_refs: dict[str, FKReference] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "values": dict(self.values),
+            "fk_refs": {column: ref.to_dict() for column, ref in self.fk_refs.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SummaryRow":
+        return cls(
+            count=int(payload["count"]),
+            values={column: float(value) for column, value in payload.get("values", {}).items()},
+            fk_refs={
+                column: FKReference.from_dict(item)
+                for column, item in payload.get("fk_refs", {}).items()
+            },
+        )
+
+
+@dataclass
+class RelationSummary:
+    """Summary of one relation: an ordered list of summary rows."""
+
+    table: str
+    rows: list[SummaryRow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._refresh_offsets()
+
+    def _refresh_offsets(self) -> None:
+        counts = [max(0, int(row.count)) for row in self.rows]
+        self._cumulative = np.cumsum([0] + counts)
+
+    @property
+    def total_rows(self) -> int:
+        return int(self._cumulative[-1]) if len(self._cumulative) else 0
+
+    @property
+    def row_offsets(self) -> np.ndarray:
+        """Starting pk index of each summary row (deterministic alignment)."""
+        return self._cumulative[:-1]
+
+    def add_row(self, row: SummaryRow) -> None:
+        self.rows.append(row)
+        self._refresh_offsets()
+
+    def locate(self, index: int) -> tuple[int, int]:
+        """Map a pk index to ``(summary_row_position, offset_within_row)``."""
+        if not 0 <= index < self.total_rows:
+            raise IndexError(f"row index {index} out of range for {self.table!r}")
+        position = int(np.searchsorted(self._cumulative, index, side="right")) - 1
+        return position, index - int(self._cumulative[position])
+
+    def pk_interval_of_row(self, position: int) -> tuple[int, int]:
+        """The ``[start, end)`` pk index interval covered by one summary row."""
+        return int(self._cumulative[position]), int(self._cumulative[position + 1])
+
+    def non_empty_rows(self) -> list[SummaryRow]:
+        return [row for row in self.rows if row.count > 0]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"table": self.table, "rows": [row.to_dict() for row in self.rows]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RelationSummary":
+        return cls(
+            table=payload["table"],
+            rows=[SummaryRow.from_dict(item) for item in payload.get("rows", [])],
+        )
+
+
+@dataclass
+class DatabaseSummary:
+    """The complete database summary: one relation summary per table."""
+
+    schema: Schema
+    relations: dict[str, RelationSummary] = field(default_factory=dict)
+    build_info: dict[str, Any] = field(default_factory=dict)
+
+    def relation(self, name: str) -> RelationSummary:
+        if name not in self.relations:
+            raise SummaryError(f"summary has no relation {name!r}")
+        return self.relations[name]
+
+    def add_relation(self, summary: RelationSummary) -> None:
+        self.relations[summary.table] = summary
+
+    def row_count(self, name: str) -> int:
+        return self.relation(name).total_rows
+
+    def total_rows(self) -> int:
+        return sum(summary.total_rows for summary in self.relations.values())
+
+    def total_summary_rows(self) -> int:
+        return sum(len(summary.rows) for summary in self.relations.values())
+
+    def validate(self) -> None:
+        """Check structural consistency against the schema."""
+        for name, summary in self.relations.items():
+            table: Table = self.schema.table(name)
+            pk = table.primary_key
+            fk_columns = table.foreign_key_columns
+            for row in summary.rows:
+                for column in row.values:
+                    if not table.has_column(column):
+                        raise SummaryError(
+                            f"summary of {name!r} mentions unknown column {column!r}"
+                        )
+                    if column == pk:
+                        raise SummaryError(
+                            f"summary of {name!r} stores the primary key {column!r}; "
+                            "primary keys must be auto-numbered"
+                        )
+                for column, ref in row.fk_refs.items():
+                    if column not in fk_columns:
+                        raise SummaryError(
+                            f"summary of {name!r} has an FK reference on non-FK "
+                            f"column {column!r}"
+                        )
+                    fk = table.foreign_key_for(column)
+                    if fk is not None and fk.ref_table != ref.ref_table:
+                        raise SummaryError(
+                            f"summary of {name!r} points {column!r} at "
+                            f"{ref.ref_table!r}, schema says {fk.ref_table!r}"
+                        )
+
+    # -- size accounting (the "few KB" claim) ------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema.to_dict(),
+            "relations": {
+                name: summary.to_dict() for name, summary in self.relations.items()
+            },
+            "build_info": self.build_info,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DatabaseSummary":
+        return cls(
+            schema=Schema.from_dict(payload["schema"]),
+            relations={
+                name: RelationSummary.from_dict(item)
+                for name, item in payload.get("relations", {}).items()
+            },
+            build_info=dict(payload.get("build_info", {})),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DatabaseSummary":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DatabaseSummary":
+        return cls.from_json(Path(path).read_text())
+
+    def size_bytes(self, include_schema: bool = False) -> int:
+        """Serialised size of the summary (excluding the schema by default)."""
+        payload = self.to_dict()
+        if not include_schema:
+            payload = {key: value for key, value in payload.items() if key != "schema"}
+        return len(json.dumps(payload).encode("utf-8"))
+
+
+def summary_size_report(summary: DatabaseSummary) -> list[tuple[str, int, int]]:
+    """Per-relation (name, summary rows, regenerated rows) listing."""
+    report = []
+    for name, relation in summary.relations.items():
+        report.append((name, len(relation.rows), relation.total_rows))
+    return report
+
+
+def iter_summary_rows(summary: DatabaseSummary) -> Iterable[tuple[str, SummaryRow]]:
+    for name, relation in summary.relations.items():
+        for row in relation.rows:
+            yield name, row

@@ -1,0 +1,135 @@
+"""The ``datagen`` dynamic-regeneration scan.
+
+The paper adds a ``datagen`` property to PostgreSQL relations: when enabled,
+the traditional scan operator is replaced by an operator that produces the
+relation's tuples on the fly from the HYDRA summary instead of reading them
+from disk.  :class:`DataGenRelation` is the equivalent here — a relation
+provider that wraps any *row source* (in practice a
+:class:`~repro.core.tuplegen.TupleGenerator`), streams its rows in batches
+through an optional :class:`~repro.executor.rate.RateLimiter`, and can also
+materialise the relation on request (the per-relation choice offered by the
+demo's vendor interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..storage.table import TableData
+from .rate import RateLimiter
+
+__all__ = ["RowSource", "DataGenRelation", "GenerationStats"]
+
+
+@runtime_checkable
+class RowSource(Protocol):
+    """The minimal interface a dataless row source must provide."""
+
+    @property
+    def row_count(self) -> int:  # pragma: no cover - protocol signature
+        ...
+
+    @property
+    def column_names(self) -> list[str]:  # pragma: no cover - protocol signature
+        ...
+
+    def row(self, index: int) -> tuple:  # pragma: no cover - protocol signature
+        ...
+
+    def generate_block(
+        self, start: int, count: int, columns: Sequence[str] | None = None
+    ) -> dict[str, np.ndarray]:  # pragma: no cover - protocol signature
+        ...
+
+
+@dataclass
+class GenerationStats:
+    """Bookkeeping for one regeneration run (exposed by the demo's UI)."""
+
+    rows_generated: int = 0
+    batches: int = 0
+    seconds_throttled: float = 0.0
+
+
+@dataclass
+class DataGenRelation:
+    """Relation provider that regenerates tuples on demand from a summary."""
+
+    source: RowSource
+    rate_limiter: RateLimiter = field(default_factory=RateLimiter.unlimited)
+    batch_size: int = 8192
+    stats: GenerationStats = field(default_factory=GenerationStats)
+
+    # -- provider protocol -------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self.source.row_count
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.source.column_names
+
+    def row(self, index: int) -> tuple:
+        return self.source.row(index)
+
+    # -- bulk interface used by the execution engine -----------------------
+
+    def fetch_columns(
+        self, columns: Sequence[str], batch_size: int | None = None
+    ) -> dict[str, np.ndarray]:
+        """Generate the requested columns for the whole relation.
+
+        Generation happens in batches so that the rate limiter can pace the
+        stream; the concatenated arrays are returned to the engine.
+        """
+        effective_batch = batch_size or self.batch_size
+        pieces: dict[str, list[np.ndarray]] = {name: [] for name in columns}
+        for start, count, block in self.iter_blocks(effective_batch, columns):
+            del start, count
+            for name in columns:
+                pieces[name].append(block[name])
+        return {
+            name: (np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64))
+            for name, chunks in pieces.items()
+        }
+
+    def iter_blocks(
+        self, batch_size: int | None = None, columns: Sequence[str] | None = None
+    ) -> Iterator[tuple[int, int, dict[str, np.ndarray]]]:
+        """Yield ``(start, count, columns)`` blocks, honouring the rate limit."""
+        effective_batch = batch_size or self.batch_size
+        total = self.source.row_count
+        requested = list(columns) if columns is not None else self.source.column_names
+        start = 0
+        while start < total:
+            count = min(effective_batch, total - start)
+            block = self.source.generate_block(start, count, requested)
+            self.stats.rows_generated += count
+            self.stats.batches += 1
+            self.stats.seconds_throttled += self.rate_limiter.throttle(count)
+            yield start, count, block
+            start += count
+
+    def iter_rows(self, batch_size: int | None = None) -> Iterator[tuple]:
+        """Stream decodable row tuples (used by examples and the CLI)."""
+        names = self.source.column_names
+        for start, count, block in self.iter_blocks(batch_size):
+            for offset in range(count):
+                yield tuple(block[name][offset] for name in names)
+            del start
+
+    # -- optional materialisation ------------------------------------------
+
+    def materialize(self, table) -> TableData:
+        """Materialise the full relation into a :class:`TableData`.
+
+        ``table`` is the schema :class:`~repro.catalog.schema.Table` this
+        relation instantiates.  This mirrors the demo's per-relation
+        "materialise instead of dynamic generation" switch.
+        """
+        columns = self.fetch_columns(table.column_names)
+        return TableData.from_columns(table, columns)

@@ -1,0 +1,109 @@
+"""Velocity regulation for dynamic data generation.
+
+One of the Big Data facets HYDRA targets is *velocity*: because regenerated
+tuples are produced in memory rather than read from disk, the rate at which a
+dataless relation streams rows can be regulated precisely (the demo exposes
+this as a rows-per-second slider).  The :class:`RateLimiter` implements a
+token-bucket style pacing over an injectable clock so that the behaviour can
+be benchmarked deterministically with a :class:`VirtualClock` and used in real
+time with the wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["VirtualClock", "RateLimiter"]
+
+
+class VirtualClock:
+    """A manually-advanced clock: ``sleep`` advances time instead of blocking.
+
+    Benchmarks and tests use it so that velocity-regulation behaviour (how
+    long a stream of N rows takes at R rows/second) can be verified exactly
+    without real waiting.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep for a negative duration")
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.sleep(seconds)
+
+
+@dataclass
+class RateLimiter:
+    """Regulates row production to at most ``rows_per_second``.
+
+    ``rows_per_second=None`` (or ``<= 0``) disables throttling entirely, which
+    is the "as fast as possible" position of the demo's velocity slider.
+    """
+
+    rows_per_second: float | None = None
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+    _start: float | None = field(default=None, init=False, repr=False)
+    _produced: int = field(default=0, init=False, repr=False)
+
+    @classmethod
+    def unlimited(cls) -> "RateLimiter":
+        return cls(rows_per_second=None)
+
+    @classmethod
+    def with_virtual_clock(
+        cls, rows_per_second: float | None, clock: VirtualClock | None = None
+    ) -> tuple["RateLimiter", VirtualClock]:
+        virtual = clock or VirtualClock()
+        limiter = cls(rows_per_second=rows_per_second, clock=virtual.now, sleep=virtual.sleep)
+        return limiter, virtual
+
+    @property
+    def is_limited(self) -> bool:
+        return self.rows_per_second is not None and self.rows_per_second > 0
+
+    @property
+    def rows_produced(self) -> int:
+        return self._produced
+
+    def reset(self) -> None:
+        self._start = None
+        self._produced = 0
+
+    def throttle(self, rows: int) -> float:
+        """Account for ``rows`` produced rows, sleeping if ahead of schedule.
+
+        Returns the number of seconds slept (0.0 when unthrottled).
+        """
+        if rows < 0:
+            raise ValueError("rows must be non-negative")
+        if self._start is None:
+            self._start = self.clock()
+        self._produced += rows
+        if not self.is_limited:
+            return 0.0
+        target_elapsed = self._produced / float(self.rows_per_second)
+        actual_elapsed = self.clock() - self._start
+        delay = target_elapsed - actual_elapsed
+        if delay > 0:
+            self.sleep(delay)
+            return delay
+        return 0.0
+
+    def observed_rate(self) -> float:
+        """Rows per second achieved so far (``inf`` if no time has elapsed)."""
+        if self._start is None or self._produced == 0:
+            return 0.0
+        elapsed = self.clock() - self._start
+        if elapsed <= 0:
+            return float("inf")
+        return self._produced / elapsed

@@ -1,0 +1,30 @@
+"""Query plans: logical operators, the deterministic planner and AQPs."""
+
+from .aqp import AnnotatedQueryPlan, AQPEdge, map_workload, total_constraint_count
+from .logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    plan_from_dict,
+)
+from .planner import PlannerError, build_plan, choose_anchor
+
+__all__ = [
+    "AQPEdge",
+    "AggregateNode",
+    "AnnotatedQueryPlan",
+    "FilterNode",
+    "JoinNode",
+    "PlanNode",
+    "PlannerError",
+    "ProjectNode",
+    "ScanNode",
+    "build_plan",
+    "choose_anchor",
+    "map_workload",
+    "plan_from_dict",
+    "total_constraint_count",
+]

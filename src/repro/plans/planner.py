@@ -1,0 +1,119 @@
+"""A deterministic planner producing left-deep filter/join trees.
+
+HYDRA relies on the client and vendor sites choosing the *same* plan for a
+query (the paper uses CODD's metadata transfer to guarantee this on
+PostgreSQL).  In this reproduction the guarantee comes from determinism: the
+planner derives the plan purely from the query text and the schema, so both
+sites — and the verification step — always operate on structurally identical
+plans and the per-operator cardinalities are directly comparable.
+
+Plan shape:
+
+* one ``Scan`` per table, with a ``Filter`` directly above it whenever the
+  query has a predicate on that table (filters are pushed down to the scans,
+  exactly as in the paper's Figure 1c);
+* a left-deep chain of key/foreign-key ``Join`` operators.  The anchor (the
+  left-most input) is chosen as the table that *references* the others — the
+  fact table in a star query — so every join step filters the anchor rather
+  than multiplying it;
+* an optional ``Project`` / ``Aggregate`` on top.
+"""
+
+from __future__ import annotations
+
+from ..catalog.schema import Schema
+from ..sql.query import JoinCondition, Query
+from .logical import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+)
+
+__all__ = ["PlannerError", "build_plan"]
+
+
+class PlannerError(ValueError):
+    """Raised when no valid left-deep key/FK join plan exists for the query."""
+
+
+def _leaf_plan(query: Query, table: str) -> PlanNode:
+    node: PlanNode = ScanNode(table=table)
+    if query.has_filter(table):
+        node = FilterNode(child=node, table=table, predicate=query.filter_for(table))
+    return node
+
+
+def _referencing_score(schema: Schema, query: Query, table: str) -> tuple[int, int]:
+    """How many of the query's joins this table participates in as the FK side."""
+    fk_side = 0
+    participations = 0
+    table_obj = schema.table(table)
+    for join in query.joins:
+        if not join.involves(table):
+            continue
+        participations += 1
+        column = join.side_column(table)
+        if table_obj.foreign_key_for(column) is not None:
+            fk_side += 1
+    return fk_side, participations
+
+
+def choose_anchor(schema: Schema, query: Query) -> str:
+    """Pick the anchor (left-most) table of the left-deep join chain."""
+    if len(query.tables) == 1:
+        return query.tables[0]
+    scored = sorted(
+        query.tables,
+        key=lambda table: _referencing_score(schema, query, table),
+        reverse=True,
+    )
+    return scored[0]
+
+
+def build_plan(query: Query, schema: Schema) -> PlanNode:
+    """Build the deterministic left-deep plan for an SPJ query."""
+    query.validate(schema)
+    anchor = choose_anchor(schema, query)
+
+    plan = _leaf_plan(query, anchor)
+    joined = {anchor}
+    remaining_joins: list[JoinCondition] = list(query.joins)
+
+    while remaining_joins:
+        progressed = False
+        for join in list(remaining_joins):
+            left_in = join.left_table in joined
+            right_in = join.right_table in joined
+            if left_in and right_in:
+                # Redundant join edge within already-joined tables: apply as a
+                # join node anyway to preserve the annotation point.
+                remaining_joins.remove(join)
+                progressed = True
+                continue
+            if not left_in and not right_in:
+                continue
+            new_table = join.right_table if left_in else join.left_table
+            plan = JoinNode(left=plan, right=_leaf_plan(query, new_table), condition=join)
+            joined.add(new_table)
+            remaining_joins.remove(join)
+            progressed = True
+        if not progressed:
+            raise PlannerError(
+                f"query {query.name!r} has disconnected join graph: "
+                f"cannot reach {sorted(set(query.tables) - joined)}"
+            )
+
+    unjoined = [table for table in query.tables if table not in joined]
+    if unjoined:
+        raise PlannerError(
+            f"query {query.name!r} lists tables with no join condition: {unjoined}"
+        )
+
+    if query.projection == ["count(*)"]:
+        return AggregateNode(child=plan, function="count")
+    if query.projection and query.projection != ["*"]:
+        return ProjectNode(child=plan, columns=list(query.projection))
+    return plan

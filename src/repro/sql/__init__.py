@@ -1,0 +1,37 @@
+"""SQL layer: predicate algebra, SPJ query model and a small SQL parser."""
+
+from .expressions import (
+    And,
+    BoxCondition,
+    ColumnCondition,
+    Comparison,
+    InList,
+    Interval,
+    IntervalSet,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    predicate_from_dict,
+)
+from .parser import SQLParseError, parse_query
+from .query import JoinCondition, Query
+
+__all__ = [
+    "And",
+    "BoxCondition",
+    "ColumnCondition",
+    "Comparison",
+    "InList",
+    "Interval",
+    "IntervalSet",
+    "JoinCondition",
+    "Not",
+    "Or",
+    "Predicate",
+    "Query",
+    "SQLParseError",
+    "TruePredicate",
+    "parse_query",
+    "predicate_from_dict",
+]

@@ -1,0 +1,286 @@
+"""A small SQL parser for the SPJ dialect used by HYDRA workloads.
+
+The demo's workloads are canonical SPJ queries (Figure 1b):
+
+    SELECT * FROM R, S, T
+    WHERE R.S_fk = S.S_pk AND R.T_fk = T.T_pk
+      AND S.A >= 20 AND S.A < 60 AND T.C >= 2 AND T.C < 3
+
+The parser supports ``SELECT <cols | * | COUNT(*)> FROM <tables> [WHERE ...]``
+where the WHERE clause is a conjunction of:
+
+* equi-join conditions ``t1.c1 = t2.c2``;
+* comparisons ``col <op> constant`` with numeric, quoted-string or date
+  constants (strings/dates are encoded through the column's type);
+* ``col BETWEEN a AND b``;
+* ``col IN (v1, v2, ...)``.
+
+That is exactly the query class the region-partitioning LP formulation is
+defined for, so the parser intentionally rejects anything outside it with a
+clear error instead of guessing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..catalog.schema import Schema
+from .expressions import And, Comparison, InList, Predicate
+from .query import JoinCondition, Query
+
+__all__ = ["SQLParseError", "parse_query"]
+
+
+class SQLParseError(ValueError):
+    """Raised when a query cannot be parsed into the supported SPJ dialect."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')            # quoted string
+      | (?P<number>-?\d+\.\d+|-?\d+)          # numeric literal
+      | (?P<op><=|>=|!=|<>|=|<|>)             # comparison operators
+      | (?P<punct>[(),;*])                    # punctuation
+      | (?P<word>[A-Za-z_][A-Za-z_0-9.]*)     # identifiers / keywords
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "between", "in", "count", "as", "not"}
+
+
+def _tokenize(sql: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    text = sql.strip()
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise SQLParseError(f"unexpected character at position {position}: {text[position:position + 20]!r}")
+        position = match.end()
+        if match.lastgroup == "string":
+            tokens.append(("string", match.group("string")[1:-1].replace("''", "'")))
+        elif match.lastgroup == "number":
+            tokens.append(("number", match.group("number")))
+        elif match.lastgroup == "op":
+            op = match.group("op")
+            tokens.append(("op", "!=" if op == "<>" else op))
+        elif match.lastgroup == "punct":
+            tokens.append(("punct", match.group("punct")))
+        elif match.lastgroup == "word":
+            word = match.group("word")
+            kind = "keyword" if word.lower() in _KEYWORDS else "ident"
+            tokens.append((kind, word))
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.index = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.exhausted:
+            return None
+        return self.tokens[self.index]
+
+    def next(self) -> tuple[str, str]:
+        if self.exhausted:
+            raise SQLParseError("unexpected end of query")
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        kind, value = self.next()
+        if kind != "keyword" or value.lower() != keyword:
+            raise SQLParseError(f"expected keyword {keyword!r}, found {value!r}")
+
+    def accept_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token and token[0] == "keyword" and token[1].lower() == keyword:
+            self.index += 1
+            return True
+        return False
+
+    def accept_punct(self, punct: str) -> bool:
+        token = self.peek()
+        if token and token[0] == "punct" and token[1] == punct:
+            self.index += 1
+            return True
+        return False
+
+    def expect_punct(self, punct: str) -> None:
+        kind, value = self.next()
+        if kind != "punct" or value != punct:
+            raise SQLParseError(f"expected {punct!r}, found {value!r}")
+
+
+def _resolve_column(schema: Schema, tables: list[str], reference: str) -> tuple[str, str]:
+    """Resolve a possibly-qualified column reference against the FROM tables."""
+    if "." in reference:
+        table_name, column_name = reference.split(".", 1)
+        if table_name not in tables:
+            raise SQLParseError(f"table {table_name!r} is not listed in FROM")
+        if not schema.table(table_name).has_column(column_name):
+            raise SQLParseError(f"table {table_name!r} has no column {column_name!r}")
+        return table_name, column_name
+    matches = [
+        table_name
+        for table_name in tables
+        if schema.table(table_name).has_column(reference)
+    ]
+    if not matches:
+        raise SQLParseError(f"column {reference!r} not found in any FROM table")
+    if len(matches) > 1:
+        raise SQLParseError(f"column {reference!r} is ambiguous across {matches}")
+    return matches[0], reference
+
+
+def _encode_constant(schema: Schema, table: str, column: str, kind: str, raw: str) -> float:
+    dtype = schema.table(table).column(column).dtype
+    if kind == "number":
+        value: Any = float(raw) if "." in raw else int(raw)
+    else:
+        value = raw
+    return float(dtype.encode(value))
+
+
+def parse_query(sql: str, schema: Schema, name: str = "query") -> Query:
+    """Parse an SPJ ``SELECT`` statement into a :class:`Query`."""
+    tokens = _TokenStream(_tokenize(sql))
+    tokens.expect_keyword("select")
+
+    projection: list[str] = []
+    if tokens.accept_keyword("count"):
+        tokens.expect_punct("(")
+        tokens.expect_punct("*")
+        tokens.expect_punct(")")
+        projection = ["count(*)"]
+    elif tokens.accept_punct("*"):
+        projection = ["*"]
+    else:
+        while True:
+            kind, value = tokens.next()
+            if kind != "ident":
+                raise SQLParseError(f"expected column name in SELECT list, found {value!r}")
+            projection.append(value)
+            if not tokens.accept_punct(","):
+                break
+
+    tokens.expect_keyword("from")
+    tables: list[str] = []
+    while True:
+        kind, value = tokens.next()
+        if kind != "ident":
+            raise SQLParseError(f"expected table name in FROM, found {value!r}")
+        if not schema.has_table(value):
+            raise SQLParseError(f"unknown table {value!r}")
+        tables.append(value)
+        # optional alias (unsupported, but tolerate "table AS table")
+        if tokens.accept_keyword("as"):
+            tokens.next()
+        if not tokens.accept_punct(","):
+            break
+
+    joins: list[JoinCondition] = []
+    per_table_filters: dict[str, list[Predicate]] = {}
+
+    if tokens.accept_keyword("where"):
+        while True:
+            _parse_condition(tokens, schema, tables, joins, per_table_filters)
+            if not tokens.accept_keyword("and"):
+                break
+
+    tokens.accept_punct(";")
+    if not tokens.exhausted:
+        kind, value = tokens.peek() or ("", "")
+        raise SQLParseError(f"unexpected trailing token {value!r}")
+
+    filters = {
+        table: (predicates[0] if len(predicates) == 1 else And(predicates))
+        for table, predicates in per_table_filters.items()
+    }
+    query = Query(
+        name=name,
+        tables=tables,
+        joins=joins,
+        filters=filters,
+        projection=projection,
+        sql=sql.strip(),
+    )
+    query.validate(schema)
+    return query
+
+
+def _parse_condition(
+    tokens: _TokenStream,
+    schema: Schema,
+    tables: list[str],
+    joins: list[JoinCondition],
+    filters: dict[str, list[Predicate]],
+) -> None:
+    kind, value = tokens.next()
+    if kind != "ident":
+        raise SQLParseError(f"expected column reference in WHERE, found {value!r}")
+    left_table, left_column = _resolve_column(schema, tables, value)
+
+    token = tokens.peek()
+    if token is None:
+        raise SQLParseError("unexpected end of WHERE clause")
+
+    if token[0] == "keyword" and token[1].lower() == "between":
+        tokens.next()
+        low_kind, low_raw = tokens.next()
+        tokens.expect_keyword("and")
+        high_kind, high_raw = tokens.next()
+        low = _encode_constant(schema, left_table, left_column, low_kind, low_raw)
+        high = _encode_constant(schema, left_table, left_column, high_kind, high_raw)
+        filters.setdefault(left_table, []).append(
+            And([Comparison(left_column, ">=", low), Comparison(left_column, "<=", high)])
+        )
+        return
+
+    if token[0] == "keyword" and token[1].lower() == "in":
+        tokens.next()
+        tokens.expect_punct("(")
+        values: list[float] = []
+        while True:
+            value_kind, value_raw = tokens.next()
+            values.append(
+                _encode_constant(schema, left_table, left_column, value_kind, value_raw)
+            )
+            if not tokens.accept_punct(","):
+                break
+        tokens.expect_punct(")")
+        filters.setdefault(left_table, []).append(InList(left_column, tuple(values)))
+        return
+
+    op_kind, op = tokens.next()
+    if op_kind != "op":
+        raise SQLParseError(f"expected comparison operator, found {op!r}")
+
+    value_kind, value_raw = tokens.next()
+    if value_kind == "ident":
+        right_table, right_column = _resolve_column(schema, tables, value_raw)
+        if op != "=":
+            raise SQLParseError("only equi-joins between columns are supported")
+        joins.append(
+            JoinCondition(
+                left_table=left_table,
+                left_column=left_column,
+                right_table=right_table,
+                right_column=right_column,
+            )
+        )
+        return
+
+    constant = _encode_constant(schema, left_table, left_column, value_kind, value_raw)
+    filters.setdefault(left_table, []).append(Comparison(left_column, op, constant))

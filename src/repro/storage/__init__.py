@@ -1,0 +1,6 @@
+"""Storage substrate: NumPy column-store tables and the database abstraction."""
+
+from .database import Database, MaterializedRelation, RelationProvider
+from .table import TableData
+
+__all__ = ["Database", "MaterializedRelation", "RelationProvider", "TableData"]

@@ -1,0 +1,132 @@
+"""The database abstraction shared by the client and vendor sites.
+
+A :class:`Database` couples a schema with *relation providers*.  A provider is
+either a materialised :class:`~repro.storage.table.TableData` (client site, or
+a vendor-side relation the user chose to materialise) or any object exposing
+the small :class:`RelationProvider` protocol — in particular the dataless
+:class:`~repro.core.tuplegen.TupleGenerator` used for dynamic regeneration.
+The executor only talks to providers, which is what lets the same query plans
+run over real data and over regenerated data (the paper's ``datagen`` scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..catalog.schema import Schema, Table
+from .table import TableData
+
+__all__ = ["RelationProvider", "Database"]
+
+
+@runtime_checkable
+class RelationProvider(Protocol):
+    """Anything that can enumerate the rows of a relation.
+
+    ``row_count`` gives the total number of rows, ``row(i)`` returns the i-th
+    row as a tuple of *encoded* values ordered like the schema columns, and
+    ``column_names`` lists the column order.  Materialised tables additionally
+    expose vectorised access, which the executor exploits when available.
+    """
+
+    @property
+    def row_count(self) -> int:  # pragma: no cover - protocol signature
+        ...
+
+    @property
+    def column_names(self) -> list[str]:  # pragma: no cover - protocol signature
+        ...
+
+    def row(self, index: int) -> tuple:  # pragma: no cover - protocol signature
+        ...
+
+
+class MaterializedRelation:
+    """Adapter presenting a :class:`TableData` through the provider protocol."""
+
+    def __init__(self, data: TableData):
+        self.data = data
+
+    @property
+    def row_count(self) -> int:
+        return self.data.row_count
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.data.table.column_names
+
+    def row(self, index: int) -> tuple:
+        return self.data.row(index)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.data.column(name)
+
+
+@dataclass
+class Database:
+    """A schema plus one relation provider per table."""
+
+    schema: Schema
+    providers: dict[str, RelationProvider] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_table_data(cls, schema: Schema, tables: Iterable[TableData]) -> "Database":
+        providers: dict[str, RelationProvider] = {
+            data.table.name: MaterializedRelation(data) for data in tables
+        }
+        return cls(schema=schema, providers=providers)
+
+    def attach(self, name: str, provider: RelationProvider) -> None:
+        """Attach (or replace) the provider for a relation.
+
+        At the vendor site this is how a relation is switched between
+        dynamic regeneration and a materialised copy.
+        """
+        if not self.schema.has_table(name):
+            raise KeyError(f"schema has no table {name!r}")
+        self.providers[name] = provider
+
+    # -- accessors -------------------------------------------------------
+
+    def provider(self, name: str) -> RelationProvider:
+        if name not in self.providers:
+            raise KeyError(f"no relation provider attached for table {name!r}")
+        return self.providers[name]
+
+    def table(self, name: str) -> Table:
+        return self.schema.table(name)
+
+    def table_data(self, name: str) -> TableData:
+        """Return the materialised data of a relation (raising if dataless)."""
+        provider = self.provider(name)
+        if isinstance(provider, MaterializedRelation):
+            return provider.data
+        raise TypeError(
+            f"table {name!r} is not materialised (dataless relation provider "
+            f"{type(provider).__name__})"
+        )
+
+    def is_materialized(self, name: str) -> bool:
+        return isinstance(self.providers.get(name), MaterializedRelation)
+
+    def row_count(self, name: str) -> int:
+        return self.provider(name).row_count
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.providers)
+
+    def total_rows(self) -> int:
+        return sum(provider.row_count for provider in self.providers.values())
+
+    def memory_bytes(self) -> int:
+        """Total bytes of materialised storage (dataless relations count 0)."""
+        total = 0
+        for provider in self.providers.values():
+            if isinstance(provider, MaterializedRelation):
+                total += provider.data.memory_bytes()
+        return total

@@ -1,0 +1,32 @@
+"""Workload substrate: synthetic schemas, data generators and SPJ workloads."""
+
+from .generator import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    distinct_filter_columns,
+    generate_workload,
+    queries_per_table,
+    workload_signature,
+)
+from .toy import FIGURE1_QUERY, ToyConfig, generate_toy_database, toy_schema
+from .tpcds import TPCDSConfig, generate_tpcds_database, tpcds_schema
+from .tpch import TPCHConfig, generate_tpch_database, tpch_schema
+
+__all__ = [
+    "FIGURE1_QUERY",
+    "TPCDSConfig",
+    "TPCHConfig",
+    "ToyConfig",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "distinct_filter_columns",
+    "generate_toy_database",
+    "generate_tpcds_database",
+    "generate_tpch_database",
+    "generate_workload",
+    "queries_per_table",
+    "toy_schema",
+    "tpcds_schema",
+    "tpch_schema",
+    "workload_signature",
+]

@@ -1,0 +1,115 @@
+"""The paper's Figure-1 toy scenario: schema, data and example query.
+
+    R (R_pk, S_fk, T_fk)      S (S_pk, A, B)      T (T_pk, C)
+
+    SELECT * FROM R, S, T
+    WHERE R.S_fk = S.S_pk AND R.T_fk = T.T_pk
+      AND S.A >= 20 AND S.A < 60 AND T.C >= 2 AND T.C < 3
+
+The toy generator produces a small materialised client database with
+controllable sizes and value distributions, which the quickstart example and
+several tests/benchmarks use as the minimal end-to-end scenario (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..catalog.schema import Column, ForeignKey, Schema, Table
+from ..catalog.types import FLOAT, INTEGER
+from ..storage.database import Database
+from ..storage.table import TableData
+
+__all__ = ["ToyConfig", "toy_schema", "generate_toy_database", "FIGURE1_QUERY"]
+
+
+FIGURE1_QUERY = (
+    "select * from R, S, T "
+    "where R.S_fk = S.S_pk and R.T_fk = T.T_pk "
+    "and S.A >= 20 and S.A < 60 and T.C >= 2 and T.C < 3"
+)
+
+
+@dataclass(frozen=True)
+class ToyConfig:
+    """Sizes and value ranges of the Figure-1 database."""
+
+    r_rows: int = 10_000
+    s_rows: int = 1_000
+    t_rows: int = 100
+    a_max: int = 100
+    b_max: int = 50
+    c_max: int = 10
+    seed: int = 42
+
+
+def toy_schema() -> Schema:
+    """The three-relation schema of Figure 1a."""
+    s_table = Table(
+        name="S",
+        columns=[
+            Column("S_pk", INTEGER),
+            Column("A", INTEGER),
+            Column("B", INTEGER),
+        ],
+        primary_key="S_pk",
+    )
+    t_table = Table(
+        name="T",
+        columns=[
+            Column("T_pk", INTEGER),
+            Column("C", FLOAT),
+        ],
+        primary_key="T_pk",
+    )
+    r_table = Table(
+        name="R",
+        columns=[
+            Column("R_pk", INTEGER),
+            Column("S_fk", INTEGER),
+            Column("T_fk", INTEGER),
+        ],
+        primary_key="R_pk",
+        foreign_keys=[
+            ForeignKey(column="S_fk", ref_table="S", ref_column="S_pk"),
+            ForeignKey(column="T_fk", ref_table="T", ref_column="T_pk"),
+        ],
+    )
+    return Schema.from_tables([r_table, s_table, t_table])
+
+
+def generate_toy_database(config: ToyConfig | None = None) -> Database:
+    """Materialise a client-side instance of the toy schema."""
+    config = config or ToyConfig()
+    rng = np.random.default_rng(config.seed)
+    schema = toy_schema()
+
+    s_data = TableData.from_columns(
+        schema.table("S"),
+        {
+            "S_pk": np.arange(config.s_rows, dtype=np.int64),
+            "A": rng.integers(0, config.a_max, size=config.s_rows),
+            "B": rng.integers(0, config.b_max, size=config.s_rows),
+        },
+    )
+    t_data = TableData.from_columns(
+        schema.table("T"),
+        {
+            "T_pk": np.arange(config.t_rows, dtype=np.int64),
+            "C": rng.uniform(0.0, config.c_max, size=config.t_rows),
+        },
+    )
+    r_data = TableData.from_columns(
+        schema.table("R"),
+        {
+            "R_pk": np.arange(config.r_rows, dtype=np.int64),
+            # Mild skew on the S side so region counts are not uniform.
+            "S_fk": (
+                rng.zipf(1.5, size=config.r_rows) % config.s_rows
+            ).astype(np.int64),
+            "T_fk": rng.integers(0, config.t_rows, size=config.r_rows),
+        },
+    )
+    return Database.from_table_data(schema, [r_data, s_data, t_data])

@@ -1,0 +1,99 @@
+"""Shared fixtures for the HYDRA reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.metadata import collect_metadata
+from repro.client.extractor import AQPExtractor
+from repro.sql.parser import parse_query
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.toy import FIGURE1_QUERY, ToyConfig, generate_toy_database, toy_schema
+from repro.workload.tpcds import TPCDSConfig, generate_tpcds_database
+from repro.workload.tpch import TPCHConfig, generate_tpch_database
+
+
+@pytest.fixture(scope="session")
+def toy_database():
+    """A small materialised instance of the paper's Figure-1 schema."""
+    return generate_toy_database(ToyConfig(r_rows=5_000, s_rows=500, t_rows=50, seed=42))
+
+
+@pytest.fixture(scope="session")
+def toy_metadata(toy_database):
+    return collect_metadata(toy_database)
+
+
+@pytest.fixture()
+def toy_schema_fixture():
+    return toy_schema()
+
+
+@pytest.fixture(scope="session")
+def toy_figure1_aqp(toy_database):
+    """The Figure-1 query, planned and annotated on the toy client database."""
+    extractor = AQPExtractor(database=toy_database)
+    return extractor.extract_sql(FIGURE1_QUERY, name="figure1")
+
+
+@pytest.fixture(scope="session")
+def toy_workload(toy_database, toy_metadata):
+    """A mixed workload of hand-written queries on the toy schema."""
+    schema = toy_database.schema
+    sqls = [
+        ("q_s_only", "select * from S where S.A >= 10 and S.A < 30"),
+        ("q_t_only", "select count(*) from T where T.C >= 5"),
+        ("q_rs", "select * from R, S where R.S_fk = S.S_pk and S.B < 25"),
+        (
+            "q_rst",
+            "select * from R, S, T where R.S_fk = S.S_pk and R.T_fk = T.T_pk "
+            "and S.A >= 20 and S.A < 60 and T.C >= 2 and T.C < 3",
+        ),
+        (
+            "q_rst2",
+            "select * from R, S, T where R.S_fk = S.S_pk and R.T_fk = T.T_pk "
+            "and S.A < 40 and T.C >= 4 and T.C < 8",
+        ),
+    ]
+    return [parse_query(sql, schema, name=name) for name, sql in sqls]
+
+
+@pytest.fixture(scope="session")
+def toy_aqps(toy_database, toy_workload):
+    extractor = AQPExtractor(database=toy_database)
+    return extractor.extract_workload(toy_workload)
+
+
+@pytest.fixture(scope="session")
+def tpcds_database():
+    """A small synthetic TPC-DS-like client database (fast to build)."""
+    return generate_tpcds_database(TPCDSConfig(scale=0.05, seed=7))
+
+
+@pytest.fixture(scope="session")
+def tpcds_metadata(tpcds_database):
+    return collect_metadata(tpcds_database)
+
+
+@pytest.fixture(scope="session")
+def tpcds_workload(tpcds_metadata):
+    return generate_workload(
+        tpcds_metadata,
+        WorkloadConfig(num_queries=20, templates_per_dimension=4, seed=2018),
+    )
+
+
+@pytest.fixture(scope="session")
+def tpcds_aqps(tpcds_database, tpcds_workload):
+    extractor = AQPExtractor(database=tpcds_database)
+    return extractor.extract_workload(tpcds_workload)
+
+
+@pytest.fixture(scope="session")
+def tpch_database():
+    return generate_tpch_database(TPCHConfig(scale=0.1, seed=11))
+
+
+@pytest.fixture(scope="session")
+def tpch_metadata(tpch_database):
+    return collect_metadata(tpch_database)

@@ -1,0 +1,77 @@
+"""Unit tests for the command-line entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import generate_main, vendor_main, verify_main, client_main
+from repro.client.package import InformationPackage
+from repro.core.summary import DatabaseSummary
+
+
+@pytest.fixture(scope="module")
+def package_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "package.json"
+    code = generate_main(
+        [
+            "--dataset", "toy",
+            "--queries", "4",
+            "--seed", "3",
+            "--output", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_package_written(self, package_path):
+        package = InformationPackage.load(package_path)
+        assert package.query_count == 4
+        assert set(package.metadata.schema.table_names) == {"R", "S", "T"}
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            generate_main(["--dataset", "nope", "--output", str(tmp_path / "p.json")])
+
+
+class TestClient:
+    def test_anonymized_package(self, tmp_path):
+        path = tmp_path / "anon.json"
+        code = client_main(
+            ["--dataset", "toy", "--queries", "3", "--anonymize", "--output", str(path)]
+        )
+        assert code == 0
+        package = InformationPackage.load(path)
+        assert package.client_name == "anonymous"
+        assert "R" not in package.metadata.schema.table_names
+
+
+class TestVendorAndVerify:
+    def test_vendor_builds_summary(self, package_path, tmp_path, capsys):
+        summary_path = tmp_path / "summary.json"
+        code = vendor_main([str(package_path), "--output", str(summary_path)])
+        assert code == 0
+        summary = DatabaseSummary.load(summary_path)
+        assert summary.row_count("R") > 0
+        captured = capsys.readouterr()
+        assert "relation" in captured.out
+
+    def test_verify_reports_cdf(self, package_path, tmp_path, capsys):
+        summary_path = tmp_path / "summary.json"
+        vendor_main([str(package_path), "--output", str(summary_path)])
+        code = verify_main(
+            [str(package_path), str(summary_path), "--sample", "S"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "constraints satisfied" in captured.out
+        assert "sample tuples of S" in captured.out
+
+    def test_vendor_sampling_alignment(self, package_path, tmp_path):
+        summary_path = tmp_path / "summary_sampling.json"
+        code = vendor_main(
+            [str(package_path), "--alignment", "sampling", "--output", str(summary_path)]
+        )
+        assert code == 0
+        assert DatabaseSummary.load(summary_path).total_rows() > 0

@@ -1,0 +1,241 @@
+"""Unit tests for the execution engine, rate limiter and datagen relation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.executor.datagen import DataGenRelation
+from repro.executor.engine import ExecutionEngine, ExecutorError
+from repro.executor.rate import RateLimiter, VirtualClock
+from repro.plans.logical import AggregateNode, JoinNode, ProjectNode, ScanNode
+from repro.plans.planner import build_plan
+from repro.sql.parser import parse_query
+from repro.sql.query import JoinCondition
+from repro.workload.toy import FIGURE1_QUERY, ToyConfig, generate_toy_database
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_toy_database(ToyConfig(r_rows=3000, s_rows=200, t_rows=30, seed=3))
+
+
+@pytest.fixture()
+def engine(database):
+    return ExecutionEngine(database=database, annotate=True)
+
+
+class TestScanAndFilter:
+    def test_scan_returns_all_rows(self, database, engine):
+        result = engine.execute(ScanNode(table="S"))
+        assert result.row_count == database.row_count("S")
+        assert "S.A" in result.columns
+
+    def test_filter_matches_numpy_reference(self, database, engine):
+        plan = build_plan(
+            parse_query("select * from S where S.A >= 20 and S.A < 60", database.schema),
+            database.schema,
+        )
+        result = engine.execute(plan)
+        values = database.table_data("S").column("A")
+        expected = int(((values >= 20) & (values < 60)).sum())
+        assert result.row_count == expected
+
+    def test_filter_annotates_plan(self, database, engine):
+        plan = build_plan(
+            parse_query("select * from S where S.A >= 20", database.schema),
+            database.schema,
+        )
+        engine.execute(plan)
+        assert all(node.cardinality is not None for node in plan.iter_nodes())
+
+    def test_annotate_false_leaves_plan_untouched(self, database):
+        engine = ExecutionEngine(database=database, annotate=False)
+        plan = build_plan(
+            parse_query("select * from S where S.A >= 20", database.schema),
+            database.schema,
+        )
+        engine.execute(plan)
+        assert all(node.cardinality is None for node in plan.iter_nodes())
+
+
+class TestJoins:
+    def test_fk_join_row_count(self, database, engine):
+        plan = build_plan(
+            parse_query("select * from R, S where R.S_fk = S.S_pk", database.schema),
+            database.schema,
+        )
+        result = engine.execute(plan)
+        # Every R row finds exactly one S partner (FK integrity by construction).
+        assert result.row_count == database.row_count("R")
+
+    def test_join_matches_manual_count(self, database, engine):
+        plan = build_plan(parse_query(FIGURE1_QUERY, database.schema), database.schema)
+        result = engine.execute(plan)
+        r = database.table_data("R")
+        s = database.table_data("S")
+        t = database.table_data("T")
+        s_match = set(np.where((s.column("A") >= 20) & (s.column("A") < 60))[0])
+        t_match = set(np.where((t.column("C") >= 2) & (t.column("C") < 3))[0])
+        expected = int(
+            sum(
+                1
+                for fk_s, fk_t in zip(r.column("S_fk"), r.column("T_fk"))
+                if fk_s in s_match and fk_t in t_match
+            )
+        )
+        assert result.row_count == expected
+
+    def test_join_with_duplicate_keys(self, database, engine):
+        # Join R with itself through S would not be key/FK; instead check the
+        # executor handles many-to-one expansion by joining S to R (reversed).
+        plan = JoinNode(
+            left=ScanNode(table="S"),
+            right=ScanNode(table="R"),
+            condition=JoinCondition("R", "S_fk", "S", "S_pk"),
+        )
+        result = engine.execute(plan)
+        assert result.row_count == database.row_count("R")
+
+    def test_missing_join_key_raises(self, database, engine):
+        plan = JoinNode(
+            left=ScanNode(table="S"),
+            right=ScanNode(table="T"),
+            condition=JoinCondition("R", "S_fk", "S", "S_pk"),
+        )
+        with pytest.raises(ExecutorError):
+            engine.execute(plan)
+
+
+class TestProjectAndAggregate:
+    def test_projection_limits_columns(self, database, engine):
+        plan = ProjectNode(child=ScanNode(table="S"), columns=["A"])
+        result = engine.execute(plan)
+        assert list(result.columns) == ["S.A"]
+
+    def test_projection_unknown_column(self, database, engine):
+        plan = ProjectNode(child=ScanNode(table="S"), columns=["missing"])
+        with pytest.raises(ExecutorError):
+            engine.execute(plan)
+
+    def test_count_star(self, database, engine):
+        plan = build_plan(
+            parse_query("select count(*) from S where S.A >= 20", database.schema),
+            database.schema,
+        )
+        result = engine.execute(plan)
+        assert result.row_count == 1
+        values = database.table_data("S").column("A")
+        assert result.column("count")[0] == int((values >= 20).sum())
+
+    def test_unsupported_aggregate(self, database, engine):
+        plan = AggregateNode(child=ScanNode(table="S"), function="sum")
+        with pytest.raises(ExecutorError):
+            engine.execute(plan)
+
+    def test_result_column_lookup(self, database, engine):
+        result = engine.execute(ScanNode(table="S"))
+        assert result.column("A") is result.columns["S.A"]
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+    def test_result_rows_limit(self, database, engine):
+        result = engine.execute(ScanNode(table="T"))
+        assert len(result.rows(limit=5)) == 5
+
+
+class TestVirtualClock:
+    def test_sleep_advances(self):
+        clock = VirtualClock()
+        clock.sleep(2.5)
+        assert clock.now() == 2.5
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1)
+
+
+class TestRateLimiter:
+    def test_unlimited_never_sleeps(self):
+        limiter, clock = RateLimiter.with_virtual_clock(None)
+        assert limiter.throttle(10_000) == 0.0
+        assert clock.now() == 0.0
+
+    def test_limited_rate_paces_stream(self):
+        limiter, clock = RateLimiter.with_virtual_clock(100.0)
+        for _ in range(10):
+            limiter.throttle(100)
+        # 1000 rows at 100 rows/s must take (at least) 10 virtual seconds.
+        assert clock.now() == pytest.approx(10.0)
+        assert limiter.observed_rate() == pytest.approx(100.0)
+
+    def test_negative_rows_rejected(self):
+        limiter = RateLimiter.unlimited()
+        with pytest.raises(ValueError):
+            limiter.throttle(-1)
+
+    def test_reset(self):
+        limiter, _clock = RateLimiter.with_virtual_clock(10.0)
+        limiter.throttle(5)
+        limiter.reset()
+        assert limiter.rows_produced == 0
+
+    def test_no_sleep_when_behind_schedule(self):
+        clock = VirtualClock()
+        limiter = RateLimiter(rows_per_second=1000.0, clock=clock.now, sleep=clock.sleep)
+        limiter.throttle(1)          # schedules 1ms
+        clock.advance(10.0)          # we are far behind schedule now
+        assert limiter.throttle(1) == 0.0
+
+
+class _ArraySource:
+    """Minimal RowSource backed by numpy arrays (for datagen tests)."""
+
+    def __init__(self, columns: dict[str, np.ndarray]):
+        self._columns = columns
+        self.column_names = list(columns)
+        self.row_count = len(next(iter(columns.values())))
+
+    def row(self, index):
+        return tuple(self._columns[name][index] for name in self.column_names)
+
+    def generate_block(self, start, count, columns=None):
+        requested = list(columns) if columns is not None else self.column_names
+        return {name: self._columns[name][start : start + count] for name in requested}
+
+
+class TestDataGenRelation:
+    def _source(self, rows: int = 1000) -> _ArraySource:
+        return _ArraySource(
+            {
+                "pk": np.arange(rows, dtype=np.int64),
+                "value": np.arange(rows, dtype=np.int64) % 7,
+            }
+        )
+
+    def test_provider_protocol(self):
+        relation = DataGenRelation(source=self._source())
+        assert relation.row_count == 1000
+        assert relation.column_names == ["pk", "value"]
+        assert relation.row(5) == (5, 5)
+
+    def test_fetch_columns_concatenates_batches(self):
+        relation = DataGenRelation(source=self._source(), batch_size=128)
+        columns = relation.fetch_columns(["pk"])
+        assert len(columns["pk"]) == 1000
+        assert columns["pk"][999] == 999
+        assert relation.stats.batches == int(np.ceil(1000 / 128))
+
+    def test_rate_limited_generation(self):
+        limiter, clock = RateLimiter.with_virtual_clock(500.0)
+        relation = DataGenRelation(source=self._source(), rate_limiter=limiter, batch_size=100)
+        relation.fetch_columns(["pk", "value"])
+        assert clock.now() == pytest.approx(2.0)
+        assert relation.stats.rows_generated == 1000
+        assert relation.stats.seconds_throttled > 0
+
+    def test_iter_rows(self):
+        relation = DataGenRelation(source=self._source(10), batch_size=4)
+        rows = list(relation.iter_rows())
+        assert len(rows) == 10
+        assert rows[3] == (3, 3)

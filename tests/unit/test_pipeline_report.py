@@ -1,0 +1,76 @@
+"""Unit tests for the pipeline build report and Hydra configuration knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InfeasibleConstraintsError, RegionExplosionError
+from repro.core.pipeline import Hydra, scale_row_counts
+from repro.verify.comparator import VolumetricComparator
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def result(self, toy_metadata, toy_aqps):
+        return Hydra(metadata=toy_metadata).build_summary(toy_aqps)
+
+    def test_relations_covered(self, result, toy_metadata):
+        assert set(result.report.relations) == set(toy_metadata.schema.table_names)
+
+    def test_describe_contains_totals(self, result):
+        text = result.report.describe()
+        assert "LP variables" in text
+        assert "constraints" in text
+
+    def test_variable_reduction_factor(self, result):
+        info = result.report.relations["R"]
+        assert info.grid_variables is not None
+        assert info.variable_reduction_factor() >= 1.0
+
+    def test_result_size_helper(self, result):
+        assert result.size_bytes() == result.summary.size_bytes()
+
+    def test_build_info_recorded_on_summary(self, result):
+        assert result.summary.build_info["alignment"] == "deterministic"
+        assert result.summary.build_info["lp_variables"] == result.report.total_lp_variables()
+
+
+class TestHydraKnobs:
+    def test_grid_baseline_can_be_disabled(self, toy_metadata, toy_aqps):
+        result = Hydra(metadata=toy_metadata, compute_grid_baseline=False).build_summary(toy_aqps)
+        assert all(info.grid_variables is None for info in result.report.relations.values())
+
+    def test_unguided_solutions_still_regenerate(self, toy_metadata, toy_aqps):
+        hydra = Hydra(metadata=toy_metadata, guided_solutions=False)
+        result = hydra.build_summary(toy_aqps)
+        verification = VolumetricComparator(database=hydra.regenerate(result.summary)).verify(toy_aqps)
+        assert verification.fraction_within(0.25) >= 0.9
+
+    def test_region_budget_enforced(self, tpcds_metadata, tpcds_aqps):
+        with pytest.raises(RegionExplosionError):
+            Hydra(metadata=tpcds_metadata, max_regions=3).build_summary(tpcds_aqps)
+
+    def test_row_count_override_scales_constraints(self, toy_metadata, toy_aqps):
+        target = 2 * toy_metadata.row_count("R")
+        hydra = Hydra(metadata=toy_metadata, row_count_overrides={"R": target})
+        result = hydra.build_summary(toy_aqps)
+        assert result.summary.row_count("R") == target
+
+    def test_exact_mode_without_fallback_raises_on_conflict(self, toy_metadata, toy_aqps):
+        # Conflicting duplicate: same predicate with two different cardinalities.
+        conflicting = [toy_aqps[0], toy_aqps[0].scale_annotations(3)]
+        hydra = Hydra(metadata=toy_metadata, fallback_to_soft=False)
+        with pytest.raises(InfeasibleConstraintsError):
+            hydra.build_summary(conflicting)
+
+    def test_exact_mode_with_fallback_absorbs_conflict(self, toy_metadata, toy_aqps):
+        conflicting = [toy_aqps[0], toy_aqps[0].scale_annotations(3)]
+        result = Hydra(metadata=toy_metadata, fallback_to_soft=True).build_summary(conflicting)
+        assert any(info.fallback_to_soft for info in result.report.relations.values())
+
+
+class TestScaleRowCounts:
+    def test_scale_helper(self, toy_metadata):
+        overrides = scale_row_counts(toy_metadata, 10)
+        assert overrides["R"] == 10 * toy_metadata.row_count("R")
+        assert all(count >= 1 for count in overrides.values())

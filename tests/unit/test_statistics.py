@@ -1,0 +1,106 @@
+"""Unit tests for repro.catalog.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    build_column_statistics,
+)
+
+
+class TestBuildColumnStatistics:
+    def test_empty_column(self):
+        stats = build_column_statistics("c", [])
+        assert stats.row_count == 0
+        assert stats.min_value is None
+
+    def test_basic_counts(self):
+        stats = build_column_statistics("c", [1, 2, 2, 3, 3, 3])
+        assert stats.row_count == 6
+        assert stats.distinct_count == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+
+    def test_most_common_value_ordering(self):
+        values = [5] * 10 + [7] * 3 + [9]
+        stats = build_column_statistics("c", values, max_mcvs=2)
+        assert stats.most_common_values[0] == 5
+        assert stats.most_common_freqs[0] == pytest.approx(10 / 14)
+        assert len(stats.most_common_values) == 2
+
+    def test_null_handling(self):
+        stats = build_column_statistics("c", [1.0, np.nan, 2.0, np.nan])
+        assert stats.row_count == 4
+        assert stats.null_count == 2
+        assert stats.distinct_count == 2
+
+    def test_all_null_column(self):
+        stats = build_column_statistics("c", [np.nan, np.nan])
+        assert stats.null_count == 2
+        assert stats.min_value is None
+
+    def test_histogram_bounds_are_monotonic(self):
+        rng = np.random.default_rng(0)
+        stats = build_column_statistics("c", rng.uniform(0, 100, size=1000), histogram_buckets=10)
+        bounds = stats.histogram_bounds
+        assert len(bounds) == 11
+        assert bounds == sorted(bounds)
+
+    def test_serialisation_roundtrip(self):
+        stats = build_column_statistics("c", [1, 2, 3, 4, 5, 5, 5])
+        restored = ColumnStatistics.from_dict(stats.to_dict())
+        assert restored.row_count == stats.row_count
+        assert restored.most_common_values == stats.most_common_values
+        assert restored.histogram_bounds == stats.histogram_bounds
+
+
+class TestSelectivityEstimation:
+    def test_empty_statistics_estimate_zero(self):
+        stats = ColumnStatistics(column="c", row_count=0)
+        assert stats.estimate_range_fraction(0, 10) == 0.0
+
+    def test_uniform_range_estimate_close(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 100, size=5000)
+        stats = build_column_statistics("c", values)
+        estimate = stats.estimate_range_fraction(0, 50)
+        actual = float(np.mean((values >= 0) & (values < 50)))
+        assert estimate == pytest.approx(actual, abs=0.1)
+
+    def test_full_range_estimate_near_one(self):
+        values = list(range(100))
+        stats = build_column_statistics("c", values)
+        assert stats.estimate_range_fraction(-10, 1000) == pytest.approx(1.0, abs=0.05)
+
+    def test_mcv_heavy_column(self):
+        values = [1] * 90 + list(range(10, 20))
+        stats = build_column_statistics("c", values, max_mcvs=1)
+        estimate = stats.estimate_range_fraction(0, 2)
+        assert estimate >= 0.85
+
+
+class TestTableStatistics:
+    def test_column_lookup(self):
+        table_stats = TableStatistics(
+            table="t",
+            row_count=3,
+            columns={"a": build_column_statistics("a", [1, 2, 3])},
+        )
+        assert table_stats.column("a").row_count == 3
+        with pytest.raises(KeyError):
+            table_stats.column("missing")
+
+    def test_serialisation_roundtrip(self):
+        table_stats = TableStatistics(
+            table="t",
+            row_count=3,
+            columns={"a": build_column_statistics("a", [1, 2, 3])},
+        )
+        restored = TableStatistics.from_dict(table_stats.to_dict())
+        assert restored.table == "t"
+        assert restored.row_count == 3
+        assert "a" in restored.columns

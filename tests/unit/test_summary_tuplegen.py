@@ -1,0 +1,275 @@
+"""Unit tests for the database summary, tuple generation and referential repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import Column, ForeignKey, Schema, Table
+from repro.catalog.types import FLOAT, INTEGER, StringType
+from repro.core.errors import SummaryError
+from repro.core.refint import enforce_referential_integrity
+from repro.core.summary import (
+    DatabaseSummary,
+    FKReference,
+    RelationSummary,
+    SummaryRow,
+)
+from repro.core.tuplegen import SummaryDatabaseFactory, TupleGenerator
+from repro.sql.expressions import Interval, IntervalSet
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    dim = Table(
+        name="dim",
+        columns=[
+            Column("dim_pk", INTEGER),
+            Column("category", StringType(dictionary=("Books", "Music", "Shoes"))),
+            Column("price", FLOAT),
+        ],
+        primary_key="dim_pk",
+    )
+    fact = Table(
+        name="fact",
+        columns=[
+            Column("fact_pk", INTEGER),
+            Column("dim_fk", INTEGER),
+            Column("quantity", INTEGER),
+        ],
+        primary_key="fact_pk",
+        foreign_keys=[ForeignKey("dim_fk", "dim", "dim_pk")],
+    )
+    return Schema.from_tables([fact, dim])
+
+
+@pytest.fixture()
+def summary(schema) -> DatabaseSummary:
+    dim_summary = RelationSummary(
+        table="dim",
+        rows=[
+            SummaryRow(count=917, values={"category": 1.0, "price": 9.99}),
+            SummaryRow(count=21, values={"category": 0.0, "price": 50.0}),
+            SummaryRow(count=62, values={"category": 2.0, "price": 5.0}),
+        ],
+    )
+    fact_summary = RelationSummary(
+        table="fact",
+        rows=[
+            SummaryRow(
+                count=100,
+                values={"quantity": 3.0},
+                fk_refs={"dim_fk": FKReference("dim", IntervalSet([Interval(0, 917)]))},
+            ),
+            SummaryRow(
+                count=50,
+                values={"quantity": 8.0},
+                fk_refs={
+                    "dim_fk": FKReference(
+                        "dim", IntervalSet([Interval(917, 938), Interval(938, 1000)])
+                    )
+                },
+            ),
+        ],
+    )
+    database_summary = DatabaseSummary(schema=schema)
+    database_summary.add_relation(dim_summary)
+    database_summary.add_relation(fact_summary)
+    return database_summary
+
+
+class TestFKReference:
+    def test_target_count(self):
+        ref = FKReference("dim", IntervalSet([Interval(0, 10), Interval(20, 25)]))
+        assert ref.target_count() == 15
+
+    def test_kth_target_round_robin(self):
+        ref = FKReference("dim", IntervalSet([Interval(0, 3), Interval(10, 12)]))
+        assert [ref.kth_target(k) for k in range(6)] == [0, 1, 2, 10, 11, 0]
+
+    def test_targets_for_vectorised(self):
+        ref = FKReference("dim", IntervalSet([Interval(0, 3), Interval(10, 12)]))
+        offsets = np.arange(6)
+        assert list(ref.targets_for(offsets)) == [0, 1, 2, 10, 11, 0]
+
+    def test_empty_reference_raises(self):
+        ref = FKReference("dim", IntervalSet.empty())
+        with pytest.raises(SummaryError):
+            ref.kth_target(0)
+        with pytest.raises(SummaryError):
+            ref.targets_for(np.array([0]))
+
+    def test_roundtrip(self):
+        ref = FKReference("dim", IntervalSet([Interval(3, 9)]))
+        assert FKReference.from_dict(ref.to_dict()) == ref
+
+
+class TestRelationSummary:
+    def test_total_and_offsets(self, summary):
+        dim = summary.relation("dim")
+        assert dim.total_rows == 1000
+        assert list(dim.row_offsets) == [0, 917, 938]
+
+    def test_locate(self, summary):
+        dim = summary.relation("dim")
+        assert dim.locate(0) == (0, 0)
+        assert dim.locate(916) == (0, 916)
+        assert dim.locate(917) == (1, 0)
+        assert dim.locate(999) == (2, 61)
+        with pytest.raises(IndexError):
+            dim.locate(1000)
+
+    def test_pk_interval_of_row(self, summary):
+        dim = summary.relation("dim")
+        assert dim.pk_interval_of_row(1) == (917, 938)
+
+    def test_non_empty_rows(self):
+        relation = RelationSummary(
+            table="t", rows=[SummaryRow(count=0), SummaryRow(count=5)]
+        )
+        assert len(relation.non_empty_rows()) == 1
+
+    def test_roundtrip(self, summary):
+        dim = summary.relation("dim")
+        restored = RelationSummary.from_dict(dim.to_dict())
+        assert restored.total_rows == dim.total_rows
+        assert len(restored.rows) == len(dim.rows)
+
+
+class TestDatabaseSummary:
+    def test_row_counts(self, summary):
+        assert summary.row_count("dim") == 1000
+        assert summary.row_count("fact") == 150
+        assert summary.total_rows() == 1150
+        assert summary.total_summary_rows() == 5
+
+    def test_validate_passes(self, summary):
+        summary.validate()
+
+    def test_validate_rejects_unknown_column(self, summary, schema):
+        summary.relation("dim").rows[0].values["zzz"] = 1.0
+        with pytest.raises(SummaryError):
+            summary.validate()
+
+    def test_validate_rejects_pk_storage(self, summary):
+        summary.relation("dim").rows[0].values["dim_pk"] = 0.0
+        with pytest.raises(SummaryError):
+            summary.validate()
+
+    def test_validate_rejects_wrong_fk_target(self, summary):
+        row = summary.relation("fact").rows[0]
+        row.fk_refs["dim_fk"] = FKReference("fact", IntervalSet([Interval(0, 1)]))
+        with pytest.raises(SummaryError):
+            summary.validate()
+
+    def test_unknown_relation(self, summary):
+        with pytest.raises(SummaryError):
+            summary.relation("missing")
+
+    def test_json_roundtrip_and_size(self, summary, tmp_path):
+        path = tmp_path / "summary.json"
+        summary.save(path)
+        restored = DatabaseSummary.load(path)
+        assert restored.row_count("fact") == 150
+        assert restored.size_bytes() == summary.size_bytes()
+        assert summary.size_bytes() < 4096  # a "minuscule" summary indeed
+
+    def test_size_excludes_schema_by_default(self, summary):
+        assert summary.size_bytes() < summary.size_bytes(include_schema=True)
+
+
+class TestTupleGenerator:
+    def test_row_count_and_columns(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("dim"), summary=summary.relation("dim"))
+        assert generator.row_count == 1000
+        assert generator.column_names == ["dim_pk", "category", "price"]
+
+    def test_table_summary_mismatch_rejected(self, summary, schema):
+        with pytest.raises(SummaryError):
+            TupleGenerator(table=schema.table("fact"), summary=summary.relation("dim"))
+
+    def test_pk_is_auto_number(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("dim"), summary=summary.relation("dim"))
+        assert generator.row(0)[0] == 0
+        assert generator.row(999)[0] == 999
+
+    def test_values_follow_summary_rows(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("dim"), summary=summary.relation("dim"))
+        assert generator.row(916)[1] == 1.0     # first block: Music
+        assert generator.row(917)[1] == 0.0     # second block: Books
+
+    def test_decoded_row_matches_paper_table1_style(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("dim"), summary=summary.relation("dim"))
+        decoded = generator.decoded_row(0)
+        assert decoded == (0, "Music", 9.99)
+        assert generator.decoded_row(917)[1] == "Books"
+
+    def test_fk_round_robin_within_reference(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("fact"), summary=summary.relation("fact"))
+        first_block_targets = {generator.row(i)[1] for i in range(100)}
+        assert all(0 <= target < 917 for target in first_block_targets)
+        second_block_targets = [generator.row(100 + i)[1] for i in range(50)]
+        assert all(917 <= target < 1000 for target in second_block_targets)
+
+    def test_generate_block_matches_row(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("fact"), summary=summary.relation("fact"))
+        block = generator.generate_block(90, 20)
+        for offset in range(20):
+            assert tuple(block[name][offset] for name in generator.column_names) == generator.row(90 + offset)
+
+    def test_generate_block_subset_of_columns(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("dim"), summary=summary.relation("dim"))
+        block = generator.generate_block(0, 10, columns=["price"])
+        assert set(block) == {"price"}
+        assert len(block["price"]) == 10
+
+    def test_generate_block_out_of_range(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("dim"), summary=summary.relation("dim"))
+        with pytest.raises(IndexError):
+            generator.generate_block(995, 10)
+        with pytest.raises(KeyError):
+            generator.generate_block(0, 5, columns=["missing"])
+
+    def test_iter_rows_total(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("fact"), summary=summary.relation("fact"))
+        rows = list(generator.iter_rows(batch_size=64))
+        assert len(rows) == 150
+
+    def test_sample_rows(self, summary, schema):
+        generator = TupleGenerator(table=schema.table("dim"), summary=summary.relation("dim"))
+        sample = generator.sample_rows([0, 917, 938])
+        assert [row[0] for row in sample] == [0, 917, 938]
+
+    def test_factory_caches_generators(self, summary):
+        factory = SummaryDatabaseFactory(summary=summary)
+        assert factory.generator("dim") is factory.generator("dim")
+        assert set(factory.all_generators()) == {"dim", "fact"}
+
+
+class TestReferentialIntegrity:
+    def test_clean_summary_untouched(self, summary):
+        report = enforce_referential_integrity(summary)
+        assert report.is_clean
+        assert "no repairs" in report.describe()
+
+    def test_out_of_range_reference_clamped(self, summary):
+        fact = summary.relation("fact")
+        fact.rows[0].fk_refs["dim_fk"] = FKReference(
+            "dim", IntervalSet([Interval(0, 5000)])
+        )
+        report = enforce_referential_integrity(summary)
+        assert not report.is_clean
+        assert report.repairs[0].action == "clamped"
+        clamped = fact.rows[0].fk_refs["dim_fk"].intervals
+        assert clamped == IntervalSet([Interval(0, 1000)])
+
+    def test_fully_dangling_reference_remapped(self, summary):
+        fact = summary.relation("fact")
+        fact.rows[1].fk_refs["dim_fk"] = FKReference(
+            "dim", IntervalSet([Interval(5000, 6000)])
+        )
+        report = enforce_referential_integrity(summary)
+        assert report.repairs[0].action == "remapped"
+        assert report.affected_tuples == 50
+        remapped = fact.rows[1].fk_refs["dim_fk"].intervals
+        assert remapped == IntervalSet([Interval(0, 1000)])
