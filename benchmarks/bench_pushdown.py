@@ -1,0 +1,148 @@
+"""E11 — Streaming pushdown scans and the summary-fast-path for counts.
+
+The paper's regeneration is *data-scale-free*: a dataless ``datagen``
+relation should be queryable without ever materialising it.  This benchmark
+compares three routes for a filtered ``COUNT(*)`` over a dataless fact
+relation across three orders of magnitude of relation size:
+
+* **naive** — the seed behaviour: materialise every column of the whole
+  relation, then filter (O(rows × columns) peak memory);
+* **streaming** — projection + predicate pushdown: generate only the
+  referenced columns batch-by-batch, keeping peak memory O(batch_size);
+* **fast-path** — answer the count directly from the relation summary with
+  count × interval arithmetic in O(#summary rows), generating zero tuples.
+
+All three routes must produce bit-identical counts and AQP annotations; the
+fast path must be at least 10× faster than the naive route at the largest
+scale, and the volumetric-verification results must not depend on the route.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from repro.core.pipeline import Hydra, scale_row_counts
+from repro.executor.engine import ExecutionEngine
+from repro.plans.logical import plan_from_dict
+from repro.plans.planner import build_plan
+from repro.sql.parser import parse_query
+from repro.verify.comparator import VolumetricComparator
+
+COUNT_SQL = "select count(*) from R where R.S_fk >= 100 and R.S_fk < 700"
+
+ROUTES = {
+    "naive": dict(pushdown=False, summary_fastpath=False),
+    "streaming": dict(pushdown=True, summary_fastpath=False),
+    "fast-path": dict(pushdown=True, summary_fastpath=True),
+}
+
+
+def _regenerated_database(metadata, aqps, factor):
+    hydra = Hydra(
+        metadata=metadata,
+        row_count_overrides=scale_row_counts(metadata, factor) if factor != 1 else {},
+    )
+    result = hydra.build_summary(aqps)
+    return hydra.regenerate(result.summary)
+
+
+def _run_route(database, plan, **engine_options):
+    engine = ExecutionEngine(database=database, annotate=True, **engine_options)
+    cloned = plan_from_dict(plan.to_dict())
+    cloned.clear_annotations()
+    start = time.perf_counter()
+    result = engine.execute(cloned)
+    elapsed = time.perf_counter() - start
+    annotations = [node.cardinality for node in cloned.iter_nodes()]
+    return int(result.column("count")[0]), annotations, elapsed, result.scanned_rows
+
+
+def test_e11_pushdown_and_fastpath_routes(benchmark, toy_client):
+    _database, metadata, _queries, aqps = toy_client
+    plan = build_plan(
+        parse_query(COUNT_SQL, metadata.schema, name="pushdown_count"), metadata.schema
+    )
+
+    print()
+    print(f"E11: filtered COUNT(*) over dataless R — {COUNT_SQL!r}")
+    timings: dict[int, dict[str, float]] = {}
+    factors = (1, 10, 100)
+    for factor in factors:
+        database = _regenerated_database(metadata, aqps, factor)
+        rows = database.row_count("R")
+        outcomes = {name: _run_route(database, plan, **opts) for name, opts in ROUTES.items()}
+        counts = {name: outcome[0] for name, outcome in outcomes.items()}
+        annotations = {name: outcome[1] for name, outcome in outcomes.items()}
+        assert counts["naive"] == counts["streaming"] == counts["fast-path"]
+        assert annotations["naive"] == annotations["streaming"] == annotations["fast-path"]
+        timings[factor] = {name: outcome[2] for name, outcome in outcomes.items()}
+        for name, (count, _annotations, elapsed, scanned) in outcomes.items():
+            print(
+                f"  x{factor:>4} ({rows:>12,} rows) {name:>10}: count={count:>10,} "
+                f"in {elapsed * 1e3:9.2f} ms, {scanned:>12,} rows generated"
+            )
+
+    largest = timings[factors[-1]]
+    speedup = largest["naive"] / max(largest["fast-path"], 1e-9)
+    print(f"  fast-path speedup over naive at x{factors[-1]}: {speedup:,.0f}x")
+    assert speedup >= 10.0
+    # The fast path is O(#summary rows): it must not degrade with scale.
+    assert timings[factors[-1]]["fast-path"] < timings[factors[0]]["naive"] * 10
+
+    benchmark.extra_info["timings_ms"] = {
+        str(factor): {name: round(seconds * 1e3, 3) for name, seconds in routes.items()}
+        for factor, routes in timings.items()
+    }
+    benchmark.extra_info["speedup_at_largest_scale"] = round(speedup, 1)
+
+    database = _regenerated_database(metadata, aqps, factors[-1])
+    benchmark.pedantic(
+        lambda: _run_route(database, plan, **ROUTES["fast-path"]), rounds=5, iterations=1
+    )
+
+
+def test_e11_streaming_scan_is_memory_bounded(toy_client):
+    """Peak allocation of the streaming route is bounded by the batch size."""
+    _database, metadata, _queries, aqps = toy_client
+    database = _regenerated_database(metadata, aqps, 40)
+    plan = build_plan(parse_query(COUNT_SQL, metadata.schema), metadata.schema)
+
+    peaks = {}
+    for name in ("naive", "streaming"):
+        engine = ExecutionEngine(database=database, annotate=False, **ROUTES[name])
+        cloned = plan_from_dict(plan.to_dict())
+        tracemalloc.start()
+        engine.execute(cloned)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peaks[name] = peak
+
+    rows = database.row_count("R")
+    print()
+    print(f"E11 (memory): {rows:,} dataless rows")
+    for name, peak in peaks.items():
+        print(f"  {name:>10}: peak allocation {peak / 1e6:8.2f} MB")
+    # Naive materialises every column of the relation; streaming stays within
+    # a few batches' worth of arrays.
+    assert peaks["naive"] > rows * 8  # at least one full int64 column
+    assert peaks["streaming"] < peaks["naive"] / 4
+
+
+def test_e11_verification_is_route_independent(toy_client):
+    """Volumetric-accuracy results are bit-identical between the routes."""
+    _database, metadata, _queries, aqps = toy_client
+    database = _regenerated_database(metadata, aqps, 1)
+
+    results = {
+        name: VolumetricComparator(database=database, **opts).verify(aqps)
+        for name, opts in ROUTES.items()
+    }
+    baseline = results["naive"].comparisons
+    for name, result in results.items():
+        assert result.comparisons == baseline, name
+    print()
+    print(
+        f"E11 (verification): {len(baseline)} operator edges identical across "
+        f"{', '.join(ROUTES)}"
+    )

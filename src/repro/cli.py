@@ -139,7 +139,16 @@ def verify_main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("package", type=Path, help="information package JSON")
     parser.add_argument("summary", type=Path, help="database summary JSON")
-    parser.add_argument("--rows-per-second", type=float, default=None)
+    parser.add_argument(
+        "--rows-per-second", type=float, default=None,
+        help="pace each regenerated relation's stream at this rate "
+        "(per relation; combine with --shared-rate-limit for one global budget)",
+    )
+    parser.add_argument(
+        "--shared-rate-limit", action="store_true",
+        help="draw all relations from a single --rows-per-second budget "
+        "instead of pacing each stream independently",
+    )
     parser.add_argument(
         "--sample", type=str, default=None,
         help="also print sample tuples of the given relation",
@@ -154,7 +163,9 @@ def verify_main(argv: Sequence[str] | None = None) -> int:
         if args.rows_per_second
         else RateLimiter.unlimited()
     )
-    database = hydra.regenerate(summary, rate_limiter=limiter)
+    database = hydra.regenerate(
+        summary, rate_limiter=limiter, shared_rate_limiter=args.shared_rate_limit
+    )
     result = VolumetricComparator(database=database).verify(package.aqps)
     print(format_error_cdf(result))
 

@@ -206,21 +206,35 @@ class Hydra:
         rate_limiter: RateLimiter | None = None,
         materialize: Iterable[str] = (),
         batch_size: int = 8192,
+        shared_rate_limiter: bool = False,
     ) -> Database:
         """Create a (mostly dataless) database from a summary.
 
         Relations listed in ``materialize`` are materialised eagerly through
         their tuple generator; all others are attached as ``datagen``
         relations that regenerate rows on demand during query execution.
+
+        ``rate_limiter`` provides the velocity configuration.  By default
+        every relation gets its own fresh :meth:`~RateLimiter.clone` so each
+        stream is paced independently (relation B is not slowed down as if
+        relation A's rows counted against its budget).  Pass
+        ``shared_rate_limiter=True`` for an explicit global-budget mode where
+        all relations draw from the single caller-supplied limiter.
         """
         factory = SummaryDatabaseFactory(summary=summary)
         database = Database(schema=summary.schema, providers={})
         materialize_set = set(materialize)
         for table_name in summary.relations:
             generator = factory.generator(table_name)
+            if rate_limiter is None:
+                limiter = RateLimiter.unlimited()
+            elif shared_rate_limiter:
+                limiter = rate_limiter
+            else:
+                limiter = rate_limiter.clone()
             relation = DataGenRelation(
                 source=generator,
-                rate_limiter=rate_limiter or RateLimiter.unlimited(),
+                rate_limiter=limiter,
                 batch_size=batch_size,
             )
             if table_name in materialize_set:

@@ -25,7 +25,7 @@ from typing import Any, Iterable, Mapping
 import numpy as np
 
 from ..catalog.schema import Schema, Table
-from ..sql.expressions import IntervalSet
+from ..sql.expressions import BoxCondition, Interval, IntervalSet
 from .errors import SummaryError
 
 __all__ = ["FKReference", "SummaryRow", "RelationSummary", "DatabaseSummary"]
@@ -74,6 +74,36 @@ class FKReference:
         previous = np.concatenate(([0], boundaries[:-1]))
         return starts[which] + (offsets - previous[which])
 
+    def count_matching_offsets(self, num_offsets: int, allowed: IntervalSet) -> int:
+        """How many of the offsets ``0..num_offsets-1`` hit a target in ``allowed``.
+
+        The round-robin spread assigns offset ``k`` the ``(k mod total)``-th
+        admissible target, so the answer only depends on which *positions* in
+        the flattened target order fall inside ``allowed``.  Each admissible
+        interval maps onto a contiguous position range, which makes the count
+        computable in O(#intervals²) interval arithmetic — no target is ever
+        enumerated, keeping the summary-fast-path O(#summary rows).
+        """
+        total = self.target_count()
+        if total <= 0 or num_offsets <= 0:
+            return 0
+        full_cycles, remainder = divmod(int(num_offsets), total)
+        matched = 0
+        position = 0
+        for interval in self.intervals:
+            size = interval.count_integers()
+            base = int(np.ceil(interval.low))
+            for piece in allowed.intersect(IntervalSet([interval])):
+                piece_size = piece.count_integers()
+                if piece_size == 0:
+                    continue
+                lo = position + (int(np.ceil(piece.low)) - base)
+                hi = lo + piece_size
+                matched += piece_size * full_cycles
+                matched += max(0, min(hi, remainder) - lo)
+            position += size
+        return matched
+
     def to_dict(self) -> dict[str, Any]:
         return {"ref_table": self.ref_table, "intervals": self.intervals.to_dict()}
 
@@ -112,43 +142,169 @@ class SummaryRow:
         )
 
 
+class _InvalidatingRows(list):
+    """A row list that drops its owner's offset cache on any list mutation."""
+
+    def __init__(self, items: Iterable["SummaryRow"], owner: "RelationSummary"):
+        super().__init__(items)
+        self._owner = owner
+
+    def _mutate(name):  # noqa: N805 - decorator factory over list methods
+        method = getattr(list, name)
+
+        def wrapper(self, *args, **kwargs):
+            # The owner is absent while pickle/copy reconstruct the list.
+            owner = getattr(self, "_owner", None)
+            if owner is not None:
+                owner.invalidate_offsets()
+            return method(self, *args, **kwargs)
+
+        wrapper.__name__ = name
+        return wrapper
+
+    for _name in (
+        "append", "extend", "insert", "remove", "pop", "clear", "sort",
+        "reverse", "__setitem__", "__delitem__", "__iadd__", "__imul__",
+    ):
+        locals()[_name] = _mutate(_name)
+    del _name, _mutate
+
+
 @dataclass
 class RelationSummary:
-    """Summary of one relation: an ordered list of summary rows."""
+    """Summary of one relation: an ordered list of summary rows.
+
+    The cumulative pk offsets that back :meth:`locate` are computed lazily and
+    cached: appending rows (:meth:`add_row` / :meth:`extend_rows`) is O(1) and
+    the cache is rebuilt once on the next offset-dependent access.  Direct
+    list mutation of ``rows`` (append/replace/pop on a hand-edited scenario
+    summary) invalidates the cache automatically; the only mutation the cache
+    cannot observe is an in-place edit of an existing row's ``count`` — call
+    :meth:`invalidate_offsets` after such an edit.
+    """
 
     table: str
     rows: list[SummaryRow] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self._refresh_offsets()
+        self._cumulative: np.ndarray | None = None
+        self.rows = _InvalidatingRows(self.rows, owner=self)
 
-    def _refresh_offsets(self) -> None:
-        counts = [max(0, int(row.count)) for row in self.rows]
-        self._cumulative = np.cumsum([0] + counts)
+    def invalidate_offsets(self) -> None:
+        """Drop the cached cumulative offsets (after mutating a row's count)."""
+        self._cumulative = None
+
+    @property
+    def cumulative_offsets(self) -> np.ndarray:
+        """Cumulative pk offsets, rebuilt when rows were added or invalidated."""
+        cached = self._cumulative
+        if cached is None or len(cached) != len(self.rows) + 1:
+            counts = [max(0, int(row.count)) for row in self.rows]
+            cached = np.cumsum([0] + counts)
+            self._cumulative = cached
+        return cached
 
     @property
     def total_rows(self) -> int:
-        return int(self._cumulative[-1]) if len(self._cumulative) else 0
+        return int(self.cumulative_offsets[-1])
 
     @property
     def row_offsets(self) -> np.ndarray:
         """Starting pk index of each summary row (deterministic alignment)."""
-        return self._cumulative[:-1]
+        return self.cumulative_offsets[:-1]
 
     def add_row(self, row: SummaryRow) -> None:
         self.rows.append(row)
-        self._refresh_offsets()
+        self._cumulative = None
+
+    def extend_rows(self, rows: Iterable[SummaryRow]) -> None:
+        """Append many rows with a single offset invalidation (O(n), not O(n²))."""
+        self.rows.extend(rows)
+        self._cumulative = None
 
     def locate(self, index: int) -> tuple[int, int]:
         """Map a pk index to ``(summary_row_position, offset_within_row)``."""
-        if not 0 <= index < self.total_rows:
+        cumulative = self.cumulative_offsets
+        if not 0 <= index < int(cumulative[-1]):
             raise IndexError(f"row index {index} out of range for {self.table!r}")
-        position = int(np.searchsorted(self._cumulative, index, side="right")) - 1
-        return position, index - int(self._cumulative[position])
+        position = int(np.searchsorted(cumulative, index, side="right")) - 1
+        return position, index - int(cumulative[position])
 
     def pk_interval_of_row(self, position: int) -> tuple[int, int]:
         """The ``[start, end)`` pk index interval covered by one summary row."""
-        return int(self._cumulative[position]), int(self._cumulative[position + 1])
+        cumulative = self.cumulative_offsets
+        return int(cumulative[position]), int(cumulative[position + 1])
+
+    # -- predicate pushdown support ----------------------------------------
+
+    def row_excluded(self, position: int, box: BoxCondition, pk_column: str | None = None) -> bool:
+        """True when no tuple of summary row ``position`` can satisfy ``box``.
+
+        This is the cheap per-segment check the filtered block iterator uses
+        to skip whole summary-row segments without generating a single tuple.
+        """
+        row = self.rows[position]
+        start, end = self.pk_interval_of_row(position)
+        for column, intervals in box.conditions.items():
+            if pk_column is not None and column == pk_column:
+                window = intervals.intersect(IntervalSet([Interval(float(start), float(end))]))
+                if window.count_integers() == 0:
+                    return True
+            elif column in row.fk_refs:
+                reachable = row.fk_refs[column].intervals.intersect(intervals)
+                if reachable.count_integers() == 0:
+                    return True
+            else:
+                if not intervals.contains(float(row.values.get(column, 0.0))):
+                    return True
+        return False
+
+    def count_matching(self, box: BoxCondition, pk_column: str | None = None) -> int | None:
+        """Exact number of regenerated tuples satisfying ``box`` — or ``None``.
+
+        Answered purely from the summary in O(#summary rows): per row, each
+        constrained column either passes for *all* tuples (representative
+        value inside the box, or every admissible fk target / pk index
+        covered), for *none*, or for an exactly countable subset (a pk range,
+        or the round-robin fk spread via
+        :meth:`FKReference.count_matching_offsets`).  When two or more
+        columns of the same summary row match only partially the matched
+        subsets are correlated through the tuple offset, so the method
+        returns ``None`` and the caller must fall back to streaming
+        generation.
+        """
+        if box.is_empty:
+            return 0
+        total_matched = 0
+        for position, row in enumerate(self.rows):
+            count = max(0, int(row.count))
+            if count == 0:
+                continue
+            start, end = self.pk_interval_of_row(position)
+            partial: list[int] = []
+            excluded = False
+            for column, intervals in box.conditions.items():
+                if pk_column is not None and column == pk_column:
+                    window = intervals.intersect(
+                        IntervalSet([Interval(float(start), float(end))])
+                    )
+                    matched = window.count_integers()
+                elif column in row.fk_refs:
+                    matched = row.fk_refs[column].count_matching_offsets(count, intervals)
+                else:
+                    value = float(row.values.get(column, 0.0))
+                    matched = count if intervals.contains(value) else 0
+                if matched == 0:
+                    excluded = True
+                    break
+                if matched < count:
+                    partial.append(matched)
+            if excluded:
+                continue
+            if len(partial) > 1:
+                return None
+            total_matched += partial[0] if partial else count
+        return total_matched
 
     def non_empty_rows(self) -> list[SummaryRow]:
         return [row for row in self.rows if row.count > 0]

@@ -25,6 +25,7 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from ..catalog.schema import Table
+from ..sql.expressions import BoxCondition, columns_with_dependencies
 from .errors import SummaryError
 from .summary import DatabaseSummary, RelationSummary
 
@@ -128,6 +129,48 @@ class TupleGenerator:
             filled += take
             cursor += take
         return arrays
+
+    def iter_filtered_blocks(
+        self,
+        box: BoxCondition,
+        batch_size: int = 8192,
+        columns: Sequence[str] | None = None,
+    ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+        """Stream ``(start, generated, matched, block)`` with only matching rows.
+
+        ``block`` holds the requested columns restricted to the rows of the
+        batch that satisfy ``box``; ``generated`` is how many tuples were
+        actually produced for the batch (the velocity the rate limiter should
+        pace).  Summary-row segments that provably cannot contain a match
+        (:meth:`RelationSummary.row_excluded`) are skipped without generating
+        a single tuple, so a selective scan costs O(matching summary rows +
+        output), not O(relation size) — and peak memory stays O(batch_size).
+        """
+        requested = list(columns) if columns is not None else self.column_names
+        needed = columns_with_dependencies(requested, box.conditions)
+        pk = self.table.primary_key
+        for position in range(len(self.summary.rows)):
+            segment_start, segment_end = self.summary.pk_interval_of_row(position)
+            if segment_end <= segment_start:
+                continue
+            if self.summary.row_excluded(position, box, pk_column=pk):
+                continue
+            cursor = segment_start
+            while cursor < segment_end:
+                take = min(batch_size, segment_end - cursor)
+                block = self.generate_block(cursor, take, needed)
+                if box.conditions:
+                    mask = box.evaluate(block)
+                    matched = int(mask.sum())
+                else:
+                    mask = None
+                    matched = take
+                if mask is None or matched == take:
+                    out = {name: block[name] for name in requested}
+                else:
+                    out = {name: block[name][mask] for name in requested}
+                yield cursor, take, matched, out
+                cursor += take
 
     def iter_rows(self, batch_size: int = 8192) -> Iterator[tuple]:
         """Stream every tuple of the relation in order."""

@@ -14,12 +14,17 @@ demo's vendor interface).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..storage.table import TableData
 from .rate import RateLimiter
+
+from ..sql.expressions import columns_with_dependencies
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sql.expressions import BoxCondition, Predicate
 
 __all__ = ["RowSource", "DataGenRelation", "GenerationStats"]
 
@@ -92,10 +97,19 @@ class DataGenRelation:
             del start, count
             for name in columns:
                 pieces[name].append(block[name])
-        return {
-            name: (np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64))
-            for name, chunks in pieces.items()
-        }
+        # A zero-row relation yields no blocks; ask the source for an empty
+        # block so each column keeps its schema dtype instead of collapsing
+        # to float64 (which would poison join/key dtypes downstream).
+        empty: dict[str, np.ndarray] | None = None
+        result: dict[str, np.ndarray] = {}
+        for name, chunks in pieces.items():
+            if chunks:
+                result[name] = np.concatenate(chunks)
+            else:
+                if empty is None:
+                    empty = self.source.generate_block(0, 0, list(columns))
+                result[name] = np.asarray(empty[name])
+        return result
 
     def iter_blocks(
         self, batch_size: int | None = None, columns: Sequence[str] | None = None
@@ -113,6 +127,55 @@ class DataGenRelation:
             self.stats.seconds_throttled += self.rate_limiter.throttle(count)
             yield start, count, block
             start += count
+
+    def iter_filtered_blocks(
+        self,
+        predicate: "Predicate | None" = None,
+        box: "BoxCondition | None" = None,
+        columns: Sequence[str] | None = None,
+        batch_size: int | None = None,
+    ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+        """Stream ``(start, generated, matched, block)`` with only matching rows.
+
+        When the row source understands box conditions (a
+        :class:`~repro.core.tuplegen.TupleGenerator`) and ``box`` is given,
+        filtering is pushed all the way into tuple generation, which skips
+        summary-row segments that cannot match.  Otherwise rows are generated
+        batch-by-batch and masked with ``predicate`` (falling back to the box,
+        converted to a predicate, when only a box is given).  Either way peak
+        memory is bounded by the batch size plus the matching rows, and the
+        rate limiter paces the *generated* tuples.
+        """
+        effective_batch = batch_size or self.batch_size
+        requested = list(columns) if columns is not None else self.source.column_names
+        source_filtered = getattr(self.source, "iter_filtered_blocks", None)
+        if box is not None and callable(source_filtered):
+            for start, generated, matched, block in source_filtered(
+                box, batch_size=effective_batch, columns=requested
+            ):
+                self.stats.rows_generated += generated
+                self.stats.batches += 1
+                self.stats.seconds_throttled += self.rate_limiter.throttle(generated)
+                yield start, generated, matched, block
+            return
+
+        condition = predicate
+        if condition is None and box is not None:
+            condition = box.to_predicate()
+        needed = requested
+        if condition is not None:
+            needed = columns_with_dependencies(requested, condition.columns())
+        for start, count, block in self.iter_blocks(effective_batch, needed):
+            if condition is None:
+                yield start, count, count, {name: block[name] for name in requested}
+                continue
+            mask = condition.evaluate(block)
+            matched = int(mask.sum())
+            if matched == count:
+                out = {name: block[name] for name in requested}
+            else:
+                out = {name: block[name][mask] for name in requested}
+            yield start, count, matched, out
 
     def iter_rows(self, batch_size: int | None = None) -> Iterator[tuple]:
         """Stream decodable row tuples (used by examples and the CLI)."""

@@ -23,7 +23,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from ..catalog.schema import Schema
+from ..catalog.schema import Schema, Table
 from ..plans.logical import (
     AggregateNode,
     FilterNode,
@@ -31,6 +31,18 @@ from ..plans.logical import (
     PlanNode,
     ProjectNode,
     ScanNode,
+)
+from ..plans.planner import ScanPushdown, compute_pushdowns
+from ..sql.expressions import (
+    And,
+    BoxCondition,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    columns_with_dependencies,
 )
 from ..storage.database import Database, MaterializedRelation, RelationProvider
 
@@ -55,6 +67,11 @@ class ExecutionResult:
         matches = [key for key in self.columns if key.endswith("." + name)]
         if len(matches) == 1:
             return self.columns[matches[0]]
+        if matches:
+            raise KeyError(
+                f"column {name!r} is ambiguous in result, "
+                f"candidates: {sorted(matches)}"
+            )
         raise KeyError(f"result has no column {name!r}")
 
     def rows(self, limit: int | None = None) -> list[tuple[Any, ...]]:
@@ -73,12 +90,28 @@ class _Block:
 
 @dataclass
 class ExecutionEngine:
-    """Executes plan trees over a :class:`Database`."""
+    """Executes plan trees over a :class:`Database`.
+
+    With ``pushdown`` enabled (the default) every scan generates only the
+    columns referenced upstream, and a filter sitting directly on a scan is
+    fused into it: dataless relations stream batch-by-batch through the
+    predicate so peak memory is bounded by the batch size plus the matching
+    rows, never O(rows × columns) of the whole relation.  With
+    ``summary_fastpath`` enabled, ``COUNT`` aggregates over a single
+    summary-backed relation are answered directly from the relation summary
+    (count × interval arithmetic, O(#summary rows)) whenever the pushed
+    filter is expressible as a box condition and the summary can answer it
+    exactly; otherwise execution falls back to the streaming scan.  Both
+    knobs leave every AQP annotation bit-identical to the naive route.
+    """
 
     database: Database
     annotate: bool = True
     batch_size: int = 65536
+    pushdown: bool = True
+    summary_fastpath: bool = True
     _scanned_rows: int = field(default=0, init=False)
+    _pushdowns: dict[int, ScanPushdown] = field(default_factory=dict, init=False)
 
     @property
     def schema(self) -> Schema:
@@ -89,6 +122,7 @@ class ExecutionEngine:
     def execute(self, plan: PlanNode) -> ExecutionResult:
         """Execute a plan, optionally annotating node cardinalities in place."""
         self._scanned_rows = 0
+        self._pushdowns = compute_pushdowns(plan, self.schema) if self.pushdown else {}
         block = self._execute_node(plan)
         return ExecutionResult(
             columns=block.columns,
@@ -136,17 +170,132 @@ class ExecutionEngine:
             for name, idx in zip(column_names, indices)
         }
 
+    @staticmethod
+    def _ordered_columns(selection: tuple[str, ...] | None, table: Table) -> list[str]:
+        """A pushdown column selection in schema order (``None`` = all)."""
+        if selection is None:
+            return table.column_names
+        wanted = set(selection)
+        return [name for name in table.column_names if name in wanted]
+
+    def _scan_column_names(self, node: ScanNode, table: Table) -> list[str]:
+        push = self._pushdowns.get(node.node_id)
+        return self._ordered_columns(
+            None if push is None else push.generate_columns, table
+        )
+
     def _execute_scan(self, node: ScanNode) -> _Block:
         table = self.schema.table(node.table)
         provider = self.database.provider(node.table)
-        columns = self._provider_columns(provider, node.table, table.column_names)
+        names = self._scan_column_names(node, table)
+        columns = self._provider_columns(provider, node.table, names) if names else {}
         qualified = {f"{node.table}.{name}": values for name, values in columns.items()}
         self._scanned_rows += provider.row_count
         return _Block(columns=qualified, row_count=provider.row_count)
 
     # -- filters ----------------------------------------------------------
 
+    def _predicate_box(self, predicate: Predicate, table: Table) -> BoxCondition | None:
+        """Convert a predicate to an *exactly equivalent* box, else ``None``.
+
+        Box conditions on continuous columns approximate ``=``, ``!=``,
+        ``<=`` and ``>`` with epsilon-widened half-open intervals; masking or
+        summary-counting with such a box could diverge from the naive route
+        on values inside the epsilon window.  Those predicates are therefore
+        rejected here (the streaming scan then masks with the original
+        predicate, and the fast path does not apply), keeping every route
+        bit-identical.  Discrete columns hold integral values, for which the
+        conversion is always exact; ``<``/``>=`` are exact on any domain.
+        """
+        if not _box_semantics_exact(predicate, table):
+            return None
+        discrete = {column.name: column.dtype.is_discrete for column in table.columns}
+        try:
+            return predicate.to_box(discrete)
+        except ValueError:
+            return None
+
+    def _empty_column(self, table: Table, name: str) -> np.ndarray:
+        return np.empty(0, dtype=table.column(name).dtype.numpy_dtype)
+
+    def _execute_filtered_scan(self, scan: ScanNode, node: FilterNode) -> _Block:
+        """Fused filter+scan: stream batches, keep only matching rows.
+
+        The scan is annotated with the full relation cardinality and the
+        returned block carries the filtered rows, so AQP annotations are
+        identical to the unfused route while the dataless relation is never
+        materialised in full.
+        """
+        table = self.schema.table(scan.table)
+        provider = self.database.provider(scan.table)
+        predicate = node.predicate
+        push = self._pushdowns.get(scan.node_id)
+        output = self._ordered_columns(
+            None if push is None else push.output_columns, table
+        )
+
+        if not predicate.columns():
+            # Column-free predicate (TruePredicate, empty conjunction/
+            # disjunction from a deserialised AQP): its verdict is constant,
+            # so decide it once instead of masking per batch — a length-0
+            # column dict would otherwise produce a length-0 mask.
+            verdict = bool(predicate.evaluate({"_": np.zeros(1, dtype=np.float64)})[0])
+            if self.annotate:
+                scan.cardinality = provider.row_count
+            if not verdict:
+                return _Block(
+                    columns={
+                        f"{scan.table}.{name}": self._empty_column(table, name)
+                        for name in output
+                    },
+                    row_count=0,
+                )
+            local = self._provider_columns(provider, scan.table, output) if output else {}
+            self._scanned_rows += provider.row_count
+            return _Block(
+                columns={f"{scan.table}.{name}": values for name, values in local.items()},
+                row_count=provider.row_count,
+            )
+
+        if callable(getattr(provider, "iter_filtered_blocks", None)):
+            box = self._predicate_box(predicate, table)
+            pieces: dict[str, list[np.ndarray]] = {name: [] for name in output}
+            matched = 0
+            for _start, generated, batch_matched, block in provider.iter_filtered_blocks(
+                predicate=predicate, box=box, columns=output, batch_size=self.batch_size
+            ):
+                self._scanned_rows += generated
+                if batch_matched == 0:
+                    continue
+                matched += batch_matched
+                for name in output:
+                    pieces[name].append(block[name])
+            columns = {
+                f"{scan.table}.{name}": (
+                    np.concatenate(chunks) if chunks else self._empty_column(table, name)
+                )
+                for name, chunks in pieces.items()
+            }
+        else:
+            needed = columns_with_dependencies(output, predicate.columns())
+            local = self._provider_columns(provider, scan.table, needed)
+            mask = predicate.evaluate(local)
+            matched = int(mask.sum())
+            columns = {f"{scan.table}.{name}": local[name][mask] for name in output}
+            self._scanned_rows += provider.row_count
+
+        if self.annotate:
+            scan.cardinality = provider.row_count
+        return _Block(columns=columns, row_count=matched)
+
     def _execute_filter(self, node: FilterNode) -> _Block:
+        if self.pushdown and isinstance(node.child, ScanNode):
+            # Fuse exactly when the planner's pushdown pass marked this
+            # filter as pushable into the scan — one source of truth for the
+            # fusion decision and the column bookkeeping it implies.
+            push = self._pushdowns.get(node.child.node_id)
+            if push is not None and push.predicate is node.predicate:
+                return self._execute_filtered_scan(node.child, node)
         child = self._execute_node(node.child)
         prefix = node.table + "."
         local = {
@@ -207,13 +356,107 @@ class ExecutionEngine:
         return _Block(columns=columns, row_count=child.row_count)
 
     def _execute_aggregate(self, node: AggregateNode) -> _Block:
-        child = self._execute_node(node.child)
         if node.function != "count":
             raise ExecutorError(f"unsupported aggregate {node.function!r}")
+        if self.summary_fastpath:
+            fast = self._summary_count(node.child)
+            if fast is not None:
+                return _Block(
+                    columns={"count": np.asarray([fast], dtype=np.int64)},
+                    row_count=1,
+                )
+        child = self._execute_node(node.child)
         return _Block(
             columns={"count": np.asarray([child.row_count], dtype=np.int64)},
             row_count=1,
         )
+
+    def _summary_count(self, child: PlanNode) -> int | None:
+        """Answer a COUNT aggregate straight from a relation summary.
+
+        Applies when the aggregate input is a (possibly filtered) scan of a
+        summary-backed dataless relation and the filter normalises to a box
+        condition the summary can count *exactly* (see
+        :meth:`~repro.core.summary.RelationSummary.count_matching`); returns
+        ``None`` otherwise so the caller falls back to streaming execution.
+        Annotates the scan/filter nodes with the same cardinalities streaming
+        would produce, without generating a single tuple.
+        """
+        filter_node: FilterNode | None = None
+        if isinstance(child, ScanNode):
+            scan = child
+        elif (
+            isinstance(child, FilterNode)
+            and isinstance(child.child, ScanNode)
+            and child.child.table == child.table
+        ):
+            filter_node, scan = child, child.child
+        else:
+            return None
+
+        provider = self.database.provider(scan.table)
+        source = getattr(provider, "source", None)
+        summary = getattr(source, "summary", None)
+        if summary is None or not callable(getattr(summary, "count_matching", None)):
+            return None
+
+        table = self.schema.table(scan.table)
+        if filter_node is None:
+            box = BoxCondition({})
+        else:
+            box = self._predicate_box(filter_node.predicate, table)
+            if box is None:
+                return None
+        count = summary.count_matching(box, pk_column=table.primary_key)
+        if count is None:
+            return None
+        if self.annotate:
+            scan.cardinality = provider.row_count
+            if filter_node is not None:
+                filter_node.cardinality = int(count)
+        return int(count)
+
+
+def _box_semantics_exact(predicate: Predicate, table: Table) -> bool:
+    """Whether ``predicate.to_box()`` is exactly equivalent to the predicate.
+
+    Exactness composes: intersections/unions/complements of exact per-column
+    interval sets stay exact, so only the leaves matter.  A comparison on a
+    discrete column is always exact (the internal domain is integral); on a
+    continuous column only ``<`` and ``>=`` avoid the epsilon approximation.
+    """
+    if isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, Comparison):
+        if not table.has_column(predicate.column):
+            # Unknown columns must surface as errors on every route, never be
+            # silently counted against a summary default value.
+            return False
+        if predicate.op in ("<", ">="):
+            return True
+        # =, !=, <= and > round the bound to the next representable point;
+        # on a discrete column that is exact only for integral constants
+        # (qty = 2.5 matches nothing, but its box [2.5, 3.5) matches 3).
+        return (
+            table.column(predicate.column).dtype.is_discrete
+            and float(predicate.value).is_integer()
+        )
+    if isinstance(predicate, InList):
+        return (
+            table.has_column(predicate.column)
+            and table.column(predicate.column).dtype.is_discrete
+            and all(float(value).is_integer() for value in predicate.values)
+        )
+    if isinstance(predicate, And):
+        return all(_box_semantics_exact(child, table) for child in predicate.children)
+    if isinstance(predicate, Or):
+        # An empty Or evaluates to all-False but its box is unconstrained.
+        return bool(predicate.children) and all(
+            _box_semantics_exact(child, table) for child in predicate.children
+        )
+    if isinstance(predicate, Not):
+        return _box_semantics_exact(predicate.child, table)
+    return False
 
 
 def _hash_join_indices(

@@ -79,6 +79,18 @@ class RateLimiter:
         self._start = None
         self._produced = 0
 
+    def clone(self) -> "RateLimiter":
+        """A fresh limiter with the same configuration but zeroed pacing state.
+
+        Streams that should be paced independently (one relation each) must
+        not share a limiter instance: ``_start``/``_produced`` are cumulative,
+        so a shared instance would pace stream B as if stream A's rows counted
+        against its budget.
+        """
+        return RateLimiter(
+            rows_per_second=self.rows_per_second, clock=self.clock, sleep=self.sleep
+        )
+
     def throttle(self, rows: int) -> float:
         """Account for ``rows`` produced rows, sleeping if ahead of schedule.
 

@@ -10,7 +10,13 @@ from .logical import (
     ScanNode,
     plan_from_dict,
 )
-from .planner import PlannerError, build_plan, choose_anchor
+from .planner import (
+    PlannerError,
+    ScanPushdown,
+    build_plan,
+    choose_anchor,
+    compute_pushdowns,
+)
 
 __all__ = [
     "AQPEdge",
@@ -22,8 +28,10 @@ __all__ = [
     "PlannerError",
     "ProjectNode",
     "ScanNode",
+    "ScanPushdown",
     "build_plan",
     "choose_anchor",
+    "compute_pushdowns",
     "map_workload",
     "plan_from_dict",
     "total_constraint_count",

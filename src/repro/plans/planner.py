@@ -21,7 +21,10 @@ Plan shape:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..catalog.schema import Schema
+from ..sql.expressions import Predicate
 from ..sql.query import JoinCondition, Query
 from .logical import (
     AggregateNode,
@@ -32,7 +35,7 @@ from .logical import (
     ScanNode,
 )
 
-__all__ = ["PlannerError", "build_plan"]
+__all__ = ["PlannerError", "ScanPushdown", "build_plan", "compute_pushdowns"]
 
 
 class PlannerError(ValueError):
@@ -117,3 +120,94 @@ def build_plan(query: Query, schema: Schema) -> PlanNode:
     if query.projection and query.projection != ["*"]:
         return ProjectNode(child=plan, columns=list(query.projection))
     return plan
+
+
+# ---------------------------------------------------------------------------
+# Projection / predicate pushdown analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanPushdown:
+    """What a single scan actually has to produce.
+
+    ``generate_columns`` is the set of columns the scan must generate at all
+    (``None`` means every column, e.g. for ``SELECT *``); ``output_columns``
+    is the subset that must survive past the scan's own filter — predicate
+    columns that nothing upstream references can be dropped after the filter
+    mask is applied.  ``predicate`` is the conjunctive filter sitting directly
+    on top of the scan, which the engine may fuse into the scan itself.
+    """
+
+    table: str
+    generate_columns: tuple[str, ...] | None
+    output_columns: tuple[str, ...] | None
+    predicate: Predicate | None
+
+
+def compute_pushdowns(plan: PlanNode, schema: Schema) -> dict[int, ScanPushdown]:
+    """Per-:class:`ScanNode` projection and predicate pushdown for a plan.
+
+    Walks the plan once and computes, for every scan, the columns referenced
+    anywhere upstream (join keys, filter predicates, projections — everything
+    for ``SELECT *`` style outputs) and the filter that sits directly above
+    the scan.  The execution engine uses the result to generate only the
+    requested columns of dataless relations and to evaluate pushed filters
+    batch-by-batch, keeping a scan's peak memory O(batch_size) instead of
+    O(rows × columns).  Keyed by ``node_id``.
+    """
+    scans = [node for node in plan.iter_nodes() if isinstance(node, ScanNode)]
+    if not scans:
+        return {}
+    tables = {scan.table for scan in scans}
+    required: dict[str, set[str]] = {table: set() for table in tables}
+    predicate_only: dict[str, set[str]] = {table: set() for table in tables}
+    pushed: dict[int, Predicate] = {}
+    # Without a Project/Aggregate root the raw join output is the result, so
+    # every column of every table is needed.
+    select_all = not isinstance(plan, (ProjectNode, AggregateNode))
+
+    for node in plan.iter_nodes():
+        if isinstance(node, FilterNode):
+            if node.table not in required:
+                continue
+            if isinstance(node.child, ScanNode) and node.child.table == node.table:
+                pushed[node.child.node_id] = node.predicate
+                predicate_only[node.table] |= node.predicate.columns()
+            else:
+                # The filter is evaluated above the scan, so its columns must
+                # flow through the scan's output.
+                required[node.table] |= node.predicate.columns()
+        elif isinstance(node, JoinNode):
+            condition = node.condition
+            if condition.left_table in required:
+                required[condition.left_table].add(condition.left_column)
+            if condition.right_table in required:
+                required[condition.right_table].add(condition.right_column)
+        elif isinstance(node, ProjectNode):
+            for name in node.columns:
+                if "." in name:
+                    table, column = name.split(".", 1)
+                    if table in required:
+                        required[table].add(column)
+                else:
+                    for table in tables:
+                        if schema.has_table(table) and schema.table(table).has_column(name):
+                            required[table].add(name)
+
+    result: dict[int, ScanPushdown] = {}
+    for scan in scans:
+        predicate = pushed.get(scan.node_id)
+        if select_all:
+            result[scan.node_id] = ScanPushdown(scan.table, None, None, predicate)
+            continue
+        output = required[scan.table]
+        generate = output | predicate_only[scan.table]
+        order = schema.table(scan.table).column_names if schema.has_table(scan.table) else []
+        result[scan.node_id] = ScanPushdown(
+            table=scan.table,
+            generate_columns=tuple(name for name in order if name in generate),
+            output_columns=tuple(name for name in order if name in output),
+            predicate=predicate,
+        )
+    return result

@@ -31,8 +31,24 @@ __all__ = [
     "Not",
     "ColumnCondition",
     "BoxCondition",
+    "columns_with_dependencies",
     "predicate_from_dict",
 ]
+
+
+def columns_with_dependencies(
+    requested: Sequence[str], dependencies: Iterable[str]
+) -> list[str]:
+    """``requested`` plus any filter-dependency columns not already in it.
+
+    Shared by every filtered-scan layer (tuple generator, datagen relation,
+    execution engine) so the column-augmentation rule — requested order
+    preserved, missing dependencies appended in sorted order — cannot drift
+    between them.
+    """
+    requested = list(requested)
+    present = set(requested)
+    return requested + [name for name in sorted(dependencies) if name not in present]
 
 _EPSILON_SCALE = 1e-9
 

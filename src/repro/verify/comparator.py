@@ -88,12 +88,26 @@ class VerificationResult:
 
 @dataclass
 class VolumetricComparator:
-    """Re-executes a workload on a regenerated database and compares AQPs."""
+    """Re-executes a workload on a regenerated database and compares AQPs.
+
+    ``pushdown`` / ``summary_fastpath`` select the execution route (streaming
+    pushdown scans and the summary-fast-path for counts, both on by default).
+    Every route annotates plans with identical cardinalities, so verification
+    results do not depend on the route — the flags only matter for timing
+    comparisons and for exercising a specific path in tests/benchmarks.
+    """
 
     database: Database
+    pushdown: bool = True
+    summary_fastpath: bool = True
 
     def verify(self, aqps: Iterable[AnnotatedQueryPlan]) -> VerificationResult:
-        engine = ExecutionEngine(database=self.database, annotate=True)
+        engine = ExecutionEngine(
+            database=self.database,
+            annotate=True,
+            pushdown=self.pushdown,
+            summary_fastpath=self.summary_fastpath,
+        )
         result = VerificationResult()
         for aqp in aqps:
             # Clone the plan so the original annotations are left untouched.

@@ -93,6 +93,26 @@ class TestMixedWorkload:
         vendor_db = hydra.regenerate(result.summary, rate_limiter=limiter)
         verification = VolumetricComparator(database=vendor_db).verify(toy_aqps)
         assert verification.fraction_within(0.1) == 1.0
+        # Each relation is paced by its own clone of the configured limiter;
+        # the caller's template instance itself stays untouched.
+        assert limiter.rows_produced == 0
+        produced = sum(
+            vendor_db.provider(name).rate_limiter.rows_produced for name in vendor_db
+        )
+        assert produced > 0
+
+    def test_shared_rate_limiter_mode_draws_from_one_budget(self, toy_metadata, toy_aqps):
+        from repro.executor.rate import VirtualClock
+
+        hydra = Hydra(metadata=toy_metadata)
+        result = hydra.build_summary(toy_aqps)
+        clock = VirtualClock()
+        limiter = RateLimiter(rows_per_second=1_000_000.0, clock=clock.now, sleep=clock.sleep)
+        vendor_db = hydra.regenerate(
+            result.summary, rate_limiter=limiter, shared_rate_limiter=True
+        )
+        verification = VolumetricComparator(database=vendor_db).verify(toy_aqps)
+        assert verification.fraction_within(0.1) == 1.0
         assert limiter.rows_produced > 0
 
 

@@ -1,0 +1,568 @@
+"""Tests for streaming pushdown scans and the summary-fast-path for counts.
+
+Covers the planner's pushdown analysis, route equivalence (naive vs streaming
+vs fast-path) on both materialised and regenerated databases, the exact
+summary counting machinery, and the satellite bugfix regressions of this PR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.metadata import collect_metadata
+from repro.catalog.schema import Column, ForeignKey, Schema, Table
+from repro.catalog.types import FLOAT, INTEGER
+from repro.client.extractor import AQPExtractor
+from repro.core.pipeline import Hydra
+from repro.core.summary import (
+    DatabaseSummary,
+    FKReference,
+    RelationSummary,
+    SummaryRow,
+)
+from repro.core.tuplegen import TupleGenerator
+from repro.executor.datagen import DataGenRelation
+from repro.executor.engine import ExecutionEngine, ExecutionResult
+from repro.executor.rate import RateLimiter
+from repro.plans.logical import plan_from_dict
+from repro.plans.planner import build_plan, compute_pushdowns
+from repro.sql.expressions import BoxCondition, Interval, IntervalSet
+from repro.sql.parser import parse_query
+from repro.storage.database import Database
+from repro.workload.toy import FIGURE1_QUERY, ToyConfig, generate_toy_database
+
+
+@pytest.fixture(scope="module")
+def client_database():
+    return generate_toy_database(ToyConfig(r_rows=4000, s_rows=400, t_rows=40, seed=5))
+
+
+WORKLOAD_SQLS = [
+    ("figure1", FIGURE1_QUERY),
+    ("count_s", "select count(*) from S where S.A >= 10 and S.A < 30"),
+    ("count_t_float", "select count(*) from T where T.C >= 5"),
+    ("count_r_fk", "select count(*) from R where R.S_fk >= 100 and R.S_fk < 300"),
+    ("count_r_all", "select count(*) from R"),
+    ("count_s_two_cols", "select count(*) from S where S.A >= 20 and S.B < 25"),
+    ("project_s", "select A, B from S where S.A >= 10"),
+    ("count_join", "select count(*) from R, S where R.S_fk = S.S_pk and S.B < 25"),
+]
+
+
+@pytest.fixture(scope="module")
+def client_aqps(client_database):
+    extractor = AQPExtractor(database=client_database)
+    queries = [
+        parse_query(sql, client_database.schema, name=name)
+        for name, sql in WORKLOAD_SQLS
+    ]
+    return extractor.extract_workload(queries)
+
+
+@pytest.fixture(scope="module")
+def vendor_database(client_database, client_aqps):
+    hydra = Hydra(metadata=collect_metadata(client_database))
+    result = hydra.build_summary(client_aqps)
+    return hydra.regenerate(result.summary)
+
+
+def _execute_routes(database, aqp):
+    """Run one AQP along the naive, streaming and fast-path routes."""
+    outcomes = []
+    for pushdown, fastpath in ((False, False), (True, False), (True, True)):
+        engine = ExecutionEngine(
+            database=database, annotate=True, pushdown=pushdown, summary_fastpath=fastpath
+        )
+        plan = plan_from_dict(aqp.plan.to_dict())
+        plan.clear_annotations()
+        result = engine.execute(plan)
+        outcomes.append(
+            (
+                [node.cardinality for node in plan.iter_nodes()],
+                result.row_count,
+                result.scanned_rows,
+            )
+        )
+    return outcomes
+
+
+class TestComputePushdowns:
+    def test_count_star_pushes_predicate_and_drops_output_columns(self, client_database):
+        query = parse_query(
+            "select count(*) from S where S.A >= 10 and S.A < 30",
+            client_database.schema,
+        )
+        plan = build_plan(query, client_database.schema)
+        pushdowns = compute_pushdowns(plan, client_database.schema)
+        scan = next(node for node in plan.iter_nodes() if node.operator == "SCAN")
+        push = pushdowns[scan.node_id]
+        assert push.table == "S"
+        assert push.generate_columns == ("A",)
+        assert push.output_columns == ()
+        assert push.predicate is not None
+
+    def test_select_star_keeps_all_columns(self, client_database):
+        query = parse_query("select * from S where S.A >= 10", client_database.schema)
+        plan = build_plan(query, client_database.schema)
+        pushdowns = compute_pushdowns(plan, client_database.schema)
+        scan = next(node for node in plan.iter_nodes() if node.operator == "SCAN")
+        push = pushdowns[scan.node_id]
+        assert push.generate_columns is None
+        assert push.output_columns is None
+
+    def test_join_keys_and_projection_are_required(self, client_database):
+        query = parse_query(
+            "select A from R, S where R.S_fk = S.S_pk and S.B < 25",
+            client_database.schema,
+        )
+        plan = build_plan(query, client_database.schema)
+        pushdowns = compute_pushdowns(plan, client_database.schema)
+        by_table = {push.table: push for push in pushdowns.values()}
+        assert by_table["R"].generate_columns == ("S_fk",)
+        assert set(by_table["S"].generate_columns) == {"S_pk", "A", "B"}
+        # B is only referenced by the pushed filter: generated, not output.
+        assert set(by_table["S"].output_columns) == {"S_pk", "A"}
+
+    def test_plain_scan_has_no_pushdowns_entry_effect(self, client_database):
+        from repro.plans.logical import ScanNode
+
+        pushdowns = compute_pushdowns(ScanNode(table="S"), client_database.schema)
+        push = next(iter(pushdowns.values()))
+        assert push.generate_columns is None
+        assert push.predicate is None
+
+
+class TestRouteEquivalence:
+    def test_routes_agree_on_materialised_database(self, client_database, client_aqps):
+        for aqp in client_aqps:
+            outcomes = _execute_routes(client_database, aqp)
+            cards = [annotations for annotations, _rows, _scanned in outcomes]
+            assert cards[0] == cards[1] == cards[2], aqp.name
+            rows = [row_count for _annotations, row_count, _scanned in outcomes]
+            assert rows[0] == rows[1] == rows[2], aqp.name
+
+    def test_routes_agree_on_regenerated_database(self, vendor_database, client_aqps):
+        for aqp in client_aqps:
+            outcomes = _execute_routes(vendor_database, aqp)
+            cards = [annotations for annotations, _rows, _scanned in outcomes]
+            assert cards[0] == cards[1] == cards[2], aqp.name
+
+    def test_fastpath_count_scans_zero_rows(self, vendor_database, client_aqps):
+        fastpath_counts = {
+            "count_s", "count_t_float", "count_r_fk", "count_r_all", "count_s_two_cols"
+        }
+        for aqp in client_aqps:
+            if aqp.name not in fastpath_counts:
+                continue
+            _naive, streaming, fast = _execute_routes(vendor_database, aqp)
+            assert fast[2] == 0, aqp.name
+            assert streaming[2] <= _naive[2], aqp.name
+
+    def test_streaming_filtered_scan_generates_only_needed_columns(self, vendor_database):
+        schema = vendor_database.schema
+        plan = build_plan(
+            parse_query("select count(*) from S where S.A >= 10", schema), schema
+        )
+        engine = ExecutionEngine(
+            database=vendor_database, annotate=True, pushdown=True, summary_fastpath=False
+        )
+        provider = vendor_database.provider("S")
+        before = provider.stats.rows_generated
+        result = engine.execute(plan)
+        generated = provider.stats.rows_generated - before
+        # Only the matching summary-row segments were generated, and only once.
+        assert generated <= provider.row_count
+        assert result.scanned_rows == generated
+
+
+class TestSummaryCounting:
+    def _fk_brute_force(self, ref: FKReference, num_offsets: int, allowed: IntervalSet) -> int:
+        targets = ref.targets_for(np.arange(num_offsets, dtype=np.int64))
+        return int(allowed.membership_mask(targets.astype(np.float64)).sum())
+
+    def test_count_matching_offsets_matches_brute_force(self):
+        ref = FKReference("dim", IntervalSet([Interval(0, 3), Interval(10, 14)]))
+        cases = [
+            IntervalSet([Interval(0, 2)]),
+            IntervalSet([Interval(1, 12)]),
+            IntervalSet([Interval(11, 100)]),
+            IntervalSet([Interval(-5, 0.5)]),
+            IntervalSet.everything(),
+            IntervalSet.empty(),
+        ]
+        for allowed in cases:
+            for num in (0, 1, 3, 7, 14, 15, 50):
+                expected = self._fk_brute_force(ref, num, allowed) if num else 0
+                assert ref.count_matching_offsets(num, allowed) == expected, (allowed, num)
+
+    def test_count_matching_value_and_pk(self):
+        summary = RelationSummary(
+            table="dim",
+            rows=[
+                SummaryRow(count=10, values={"price": 5.0}),
+                SummaryRow(count=20, values={"price": 9.0}),
+            ],
+        )
+        box = BoxCondition({"price": IntervalSet([Interval(4.0, 6.0)])})
+        assert summary.count_matching(box, pk_column="dim_pk") == 10
+        pk_box = BoxCondition({"dim_pk": IntervalSet([Interval(5.0, 25.0)])})
+        assert summary.count_matching(pk_box, pk_column="dim_pk") == 20
+        assert summary.count_matching(BoxCondition({}), pk_column="dim_pk") == 30
+
+    def test_count_matching_fk_partial_is_exact(self):
+        summary = RelationSummary(
+            table="fact",
+            rows=[
+                SummaryRow(
+                    count=10,
+                    fk_refs={"dim_fk": FKReference("dim", IntervalSet([Interval(0, 4)]))},
+                )
+            ],
+        )
+        table = Table(
+            name="fact",
+            columns=[Column("fact_pk", INTEGER), Column("dim_fk", INTEGER)],
+            primary_key="fact_pk",
+            foreign_keys=[ForeignKey("dim_fk", "dim", "dim_pk")],
+        )
+        generator = TupleGenerator(table=table, summary=summary)
+        box = BoxCondition({"dim_fk": IntervalSet([Interval(1.0, 3.0)])})
+        block = generator.generate_block(0, 10)
+        expected = int(box.evaluate(block).sum())
+        assert summary.count_matching(box, pk_column="fact_pk") == expected
+
+    def test_count_matching_two_partial_columns_falls_back(self):
+        summary = RelationSummary(
+            table="fact",
+            rows=[
+                SummaryRow(
+                    count=10,
+                    fk_refs={"dim_fk": FKReference("dim", IntervalSet([Interval(0, 4)]))},
+                )
+            ],
+        )
+        box = BoxCondition(
+            {
+                "dim_fk": IntervalSet([Interval(1.0, 3.0)]),
+                "fact_pk": IntervalSet([Interval(0.0, 5.0)]),
+            }
+        )
+        assert summary.count_matching(box, pk_column="fact_pk") is None
+
+    def test_row_excluded_skips_unreachable_segments(self):
+        summary = RelationSummary(
+            table="dim",
+            rows=[
+                SummaryRow(count=10, values={"price": 5.0}),
+                SummaryRow(count=10, values={"price": 50.0}),
+            ],
+        )
+        box = BoxCondition({"price": IntervalSet([Interval(40.0, 60.0)])})
+        assert summary.row_excluded(0, box, pk_column="dim_pk")
+        assert not summary.row_excluded(1, box, pk_column="dim_pk")
+
+
+class TestFastpathOnHandBuiltSummary:
+    @pytest.fixture()
+    def dataless(self):
+        dim = Table(
+            name="dim",
+            columns=[Column("dim_pk", INTEGER), Column("price", FLOAT)],
+            primary_key="dim_pk",
+        )
+        fact = Table(
+            name="fact",
+            columns=[Column("fact_pk", INTEGER), Column("dim_fk", INTEGER), Column("qty", INTEGER)],
+            primary_key="fact_pk",
+            foreign_keys=[ForeignKey("dim_fk", "dim", "dim_pk")],
+        )
+        schema = Schema.from_tables([fact, dim])
+        summary = DatabaseSummary(schema=schema)
+        summary.add_relation(
+            RelationSummary(
+                table="dim",
+                rows=[
+                    SummaryRow(count=60, values={"price": 10.0}),
+                    SummaryRow(count=40, values={"price": 90.0}),
+                ],
+            )
+        )
+        summary.add_relation(
+            RelationSummary(
+                table="fact",
+                rows=[
+                    SummaryRow(
+                        count=500,
+                        values={"qty": 3.0},
+                        fk_refs={"dim_fk": FKReference("dim", IntervalSet([Interval(0, 60)]))},
+                    ),
+                    SummaryRow(
+                        count=250,
+                        values={"qty": 8.0},
+                        fk_refs={"dim_fk": FKReference("dim", IntervalSet([Interval(60, 100)]))},
+                    ),
+                ],
+            )
+        )
+        database = Database(schema=schema, providers={})
+        for name in ("dim", "fact"):
+            generator = TupleGenerator(table=schema.table(name), summary=summary.relation(name))
+            database.attach(name, DataGenRelation(source=generator))
+        return database
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select count(*) from fact where fact.qty >= 5",
+            "select count(*) from fact where fact.dim_fk >= 10 and fact.dim_fk < 70",
+            "select count(*) from fact where fact.fact_pk >= 100 and fact.fact_pk < 600",
+            "select count(*) from fact",
+            "select count(*) from dim where dim.price >= 50",
+        ],
+    )
+    def test_fastpath_equals_streaming_and_naive(self, dataless, sql):
+        plan = build_plan(parse_query(sql, dataless.schema), dataless.schema)
+        counts = []
+        for pushdown, fastpath in ((False, False), (True, False), (True, True)):
+            engine = ExecutionEngine(
+                database=dataless, pushdown=pushdown, summary_fastpath=fastpath
+            )
+            cloned = plan_from_dict(plan.to_dict())
+            cloned.clear_annotations()
+            result = engine.execute(cloned)
+            counts.append((int(result.column("count")[0]), result.scanned_rows))
+        assert counts[0][0] == counts[1][0] == counts[2][0]
+        assert counts[2][1] == 0  # fast path generated nothing
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # On continuous columns =, !=, <= and > are epsilon-approximated
+            # by the box conversion: the engine must refuse box semantics and
+            # keep masking with the original predicate so all routes agree,
+            # even when a representative lands inside the epsilon window.
+            "select count(*) from dim where dim.price != 10",
+            "select count(*) from dim where dim.price = 90",
+            "select count(*) from dim where dim.price <= 10",
+            "select count(*) from dim where dim.price > 10",
+        ],
+    )
+    def test_inexact_float_boxes_fall_back_but_stay_exact(self, dataless, sql):
+        # Plant a representative inside the epsilon window of 10.0.
+        dim_summary = None
+        for name in dataless:
+            provider = dataless.provider(name)
+            if provider.source.table.name == "dim":
+                dim_summary = provider.source.summary
+        dim_summary.rows[0].values["price"] = 10.0 + 1e-12
+        plan = build_plan(parse_query(sql, dataless.schema), dataless.schema)
+        counts = []
+        for pushdown, fastpath in ((False, False), (True, False), (True, True)):
+            engine = ExecutionEngine(
+                database=dataless, pushdown=pushdown, summary_fastpath=fastpath
+            )
+            result = engine.execute(plan_from_dict(plan.to_dict()))
+            counts.append(int(result.column("count")[0]))
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_exact_float_range_still_uses_fastpath(self, dataless):
+        # < and >= are exact on continuous domains, so the fast path applies.
+        sql = "select count(*) from dim where dim.price >= 50 and dim.price < 100"
+        plan = build_plan(parse_query(sql, dataless.schema), dataless.schema)
+        engine = ExecutionEngine(database=dataless, pushdown=True, summary_fastpath=True)
+        result = engine.execute(plan_from_dict(plan.to_dict()))
+        assert int(result.column("count")[0]) == 40
+        assert result.scanned_rows == 0
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # Non-integral constants on a discrete column: the box rounds the
+            # bound (= 2.5 becomes [2.5, 3.5), matching qty == 3) so the exact
+            # routes must refuse box semantics and mask with the predicate.
+            "select count(*) from fact where fact.qty = 2.5",
+            "select count(*) from fact where fact.qty != 2.5",
+            "select count(*) from fact where fact.qty <= 2.5",
+            "select count(*) from fact where fact.qty > 2.5",
+            "select count(*) from fact where fact.qty >= 2.5",
+            "select count(*) from fact where fact.qty < 3.5",
+        ],
+    )
+    def test_non_integral_constants_on_discrete_columns(self, dataless, sql):
+        plan = build_plan(parse_query(sql, dataless.schema), dataless.schema)
+        counts = []
+        for pushdown, fastpath in ((False, False), (True, False), (True, True)):
+            engine = ExecutionEngine(
+                database=dataless, pushdown=pushdown, summary_fastpath=fastpath
+            )
+            result = engine.execute(plan_from_dict(plan.to_dict()))
+            counts.append(int(result.column("count")[0]))
+        assert counts[0] == counts[1] == counts[2], counts
+
+    @pytest.mark.parametrize("payload", [{"op": "true"}, {"op": "or", "children": []}])
+    def test_column_free_predicates_from_aqp_payloads(self, dataless, payload):
+        # Deserialised AQPs can carry trivial or empty predicates; fused
+        # scans must give them the same constant verdict as the naive route.
+        from repro.plans.logical import AggregateNode, FilterNode, ScanNode
+        from repro.sql.expressions import predicate_from_dict
+
+        plan = AggregateNode(
+            child=FilterNode(
+                child=ScanNode(table="fact"),
+                table="fact",
+                predicate=predicate_from_dict(payload),
+            )
+        )
+        counts = []
+        for pushdown, fastpath in ((False, False), (True, False), (True, True)):
+            engine = ExecutionEngine(
+                database=dataless, pushdown=pushdown, summary_fastpath=fastpath
+            )
+            cloned = plan_from_dict(plan.to_dict())
+            result = engine.execute(cloned)
+            counts.append(
+                (int(result.column("count")[0]), [n.cardinality for n in cloned.iter_nodes()])
+            )
+        assert counts[0] == counts[1] == counts[2], counts
+
+    def test_unknown_column_raises_on_every_route(self, dataless):
+        # A malformed AQP package can carry a predicate on a column the table
+        # does not have; no route may silently fabricate a count for it.
+        from repro.plans.logical import AggregateNode, FilterNode, ScanNode
+        from repro.sql.expressions import Comparison
+
+        plan = AggregateNode(
+            child=FilterNode(
+                child=ScanNode(table="fact"),
+                table="fact",
+                predicate=Comparison("typo", ">=", 0.0),
+            )
+        )
+        for pushdown, fastpath in ((False, False), (True, False), (True, True)):
+            engine = ExecutionEngine(
+                database=dataless, pushdown=pushdown, summary_fastpath=fastpath
+            )
+            with pytest.raises(KeyError):
+                engine.execute(plan_from_dict(plan.to_dict()))
+
+    def test_correlated_straddle_falls_back_to_streaming(self, dataless):
+        # Both the pk and the fk constraints are partial on the same summary
+        # row: the fast path must refuse and streaming must still be exact.
+        sql = (
+            "select count(*) from fact where fact.fact_pk >= 100 "
+            "and fact.fact_pk < 300 and fact.dim_fk >= 10 and fact.dim_fk < 30"
+        )
+        plan = build_plan(parse_query(sql, dataless.schema), dataless.schema)
+        naive_engine = ExecutionEngine(database=dataless, pushdown=False, summary_fastpath=False)
+        fast_engine = ExecutionEngine(database=dataless, pushdown=True, summary_fastpath=True)
+        naive = naive_engine.execute(plan_from_dict(plan.to_dict()))
+        fast = fast_engine.execute(plan_from_dict(plan.to_dict()))
+        assert int(fast.column("count")[0]) == int(naive.column("count")[0])
+        assert fast.scanned_rows > 0  # it really streamed
+
+
+class TestSatelliteRegressions:
+    def test_result_column_ambiguity_error_lists_candidates(self):
+        result = ExecutionResult(
+            columns={"R.x": np.arange(3), "S.x": np.arange(3)}, row_count=3
+        )
+        with pytest.raises(KeyError, match="ambiguous") as excinfo:
+            result.column("x")
+        assert "R.x" in str(excinfo.value) and "S.x" in str(excinfo.value)
+        with pytest.raises(KeyError, match="no column"):
+            result.column("missing")
+
+    def test_fetch_columns_preserves_dtype_for_empty_relations(self):
+        table = Table(
+            name="empty",
+            columns=[Column("pk", INTEGER), Column("v", FLOAT)],
+            primary_key="pk",
+        )
+        generator = TupleGenerator(table=table, summary=RelationSummary(table="empty"))
+        relation = DataGenRelation(source=generator)
+        columns = relation.fetch_columns(["pk", "v"])
+        assert columns["pk"].dtype == np.int64
+        assert columns["v"].dtype == np.float64
+        assert len(columns["pk"]) == 0
+
+    def test_rate_limiter_clone_is_fresh(self):
+        limiter, clock = RateLimiter.with_virtual_clock(100.0)
+        limiter.throttle(500)
+        clone = limiter.clone()
+        assert clone.rows_per_second == limiter.rows_per_second
+        assert clone.rows_produced == 0
+        assert clone.clock is limiter.clock
+        # The clone starts its own schedule: 100 rows at 100 rows/s from now.
+        start = clock.now()
+        clone.throttle(100)
+        assert clock.now() - start == pytest.approx(1.0)
+
+    def test_summary_offsets_survive_direct_row_append(self):
+        summary = RelationSummary(table="t", rows=[SummaryRow(count=5)])
+        assert summary.total_rows == 5
+        # A hand-edited scenario summary appending directly to `.rows` must
+        # not silently corrupt locate().
+        summary.rows.append(SummaryRow(count=7))
+        assert summary.total_rows == 12
+        assert summary.locate(11) == (1, 6)
+
+    def test_summary_offsets_survive_row_replacement_and_pop(self):
+        summary = RelationSummary(table="t", rows=[SummaryRow(count=3), SummaryRow(count=4)])
+        assert summary.total_rows == 7  # builds the cache
+        summary.rows[0] = SummaryRow(count=10)
+        assert summary.total_rows == 14
+        summary.rows.pop()
+        assert summary.total_rows == 10
+        assert summary.locate(9) == (0, 9)
+
+    def test_summary_count_mutation_with_invalidate(self):
+        summary = RelationSummary(table="t", rows=[SummaryRow(count=5), SummaryRow(count=5)])
+        assert summary.total_rows == 10
+        summary.rows[0].count = 2
+        summary.invalidate_offsets()
+        assert summary.total_rows == 7
+        assert summary.locate(2) == (1, 0)
+
+    def test_extend_rows_matches_repeated_add_row(self):
+        rows = [SummaryRow(count=i + 1) for i in range(10)]
+        one = RelationSummary(table="t")
+        for row in rows:
+            one.add_row(row)
+        other = RelationSummary(table="t")
+        other.extend_rows(rows)
+        assert one.total_rows == other.total_rows
+        assert list(one.row_offsets) == list(other.row_offsets)
+
+    def test_regenerate_gives_each_relation_its_own_limiter(self, client_database, client_aqps):
+        hydra = Hydra(metadata=collect_metadata(client_database))
+        result = hydra.build_summary(client_aqps)
+        limiter, _clock = RateLimiter.with_virtual_clock(1000.0)
+        database = hydra.regenerate(result.summary, rate_limiter=limiter)
+        limiters = [database.provider(name).rate_limiter for name in database]
+        assert len(set(map(id, limiters))) == len(limiters)
+        assert all(l is not limiter for l in limiters)
+        # Draining one relation must not affect another relation's budget.
+        database.provider("S").fetch_columns(["S_pk"])
+        assert database.provider("T").rate_limiter.rows_produced == 0
+
+    def test_regenerate_shared_mode_keeps_single_instance(self, client_database, client_aqps):
+        hydra = Hydra(metadata=collect_metadata(client_database))
+        result = hydra.build_summary(client_aqps)
+        limiter, _clock = RateLimiter.with_virtual_clock(None)
+        database = hydra.regenerate(
+            result.summary, rate_limiter=limiter, shared_rate_limiter=True
+        )
+        assert all(database.provider(name).rate_limiter is limiter for name in database)
+
+
+class TestVirtualClockPacingIsolation:
+    def test_two_cloned_streams_do_not_share_budget(self):
+        limiter, clock = RateLimiter.with_virtual_clock(100.0)
+        first, second = limiter.clone(), limiter.clone()
+        first.throttle(1000)  # 10 virtual seconds
+        elapsed = clock.now()
+        second.throttle(100)
+        # The second stream pays only for its own 100 rows (1s), not for the
+        # first stream's backlog.
+        assert clock.now() - elapsed == pytest.approx(1.0)
