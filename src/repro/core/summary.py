@@ -28,7 +28,13 @@ from ..catalog.schema import Schema, Table
 from ..sql.expressions import BoxCondition, Interval, IntervalSet
 from .errors import SummaryError
 
-__all__ = ["FKReference", "SummaryRow", "RelationSummary", "DatabaseSummary"]
+__all__ = [
+    "FKReference",
+    "SummaryRow",
+    "RowBoxMatch",
+    "RelationSummary",
+    "DatabaseSummary",
+]
 
 
 @dataclass(frozen=True)
@@ -142,6 +148,33 @@ class SummaryRow:
         )
 
 
+@dataclass(frozen=True)
+class RowBoxMatch:
+    """How one summary row's tuples relate to a box condition.
+
+    Produced by :meth:`RelationSummary.classify_row` — the single source of
+    truth for the per-row pass/fail/partial column arithmetic that every
+    exact summary consumer (counting, pk-interval projection, the engine's
+    join-COUNT fast path) builds on.  ``count`` is the row's tuple count;
+    columns whose constraint passes for *all* tuples are omitted entirely;
+    ``pk_window`` is the sub-segment of pk indices matching a partial
+    primary-key constraint (``None`` when the pk is unconstrained or fully
+    covered); ``partial_fks`` maps each foreign-key column whose round-robin
+    spread matches the box only partially to ``(allowed_intervals,
+    matched_count)``.  Two or more partial columns are correlated through
+    the tuple offset and generally not exactly combinable.
+    """
+
+    count: int
+    pk_window: "IntervalSet | None" = None
+    partial_fks: Mapping[str, tuple[IntervalSet, int]] = field(default_factory=dict)
+
+    @property
+    def partial_columns(self) -> int:
+        """Number of columns whose match is partial (not all-or-nothing)."""
+        return (1 if self.pk_window is not None else 0) + len(self.partial_fks)
+
+
 class _InvalidatingRows(list):
     """A row list that drops its owner's offset cache on any list mutation."""
 
@@ -243,6 +276,8 @@ class RelationSummary:
         This is the cheap per-segment check the filtered block iterator uses
         to skip whole summary-row segments without generating a single tuple.
         """
+        if box.is_empty:
+            return True
         row = self.rows[position]
         start, end = self.pk_interval_of_row(position)
         for column, intervals in box.conditions.items():
@@ -259,52 +294,116 @@ class RelationSummary:
                     return True
         return False
 
+    def classify_row(
+        self, position: int, box: BoxCondition, pk_column: str | None = None
+    ) -> RowBoxMatch | None:
+        """Classify summary row ``position`` against ``box`` column by column.
+
+        Returns ``None`` when no tuple of the row can satisfy the box (some
+        constrained column fails entirely, the row is empty, or the box is
+        unsatisfiable).  Otherwise each constrained column either passes for
+        *all* tuples — representative value inside the box, every actual fk
+        target / pk index covered — and is omitted from the result, or
+        matches an exactly countable subset recorded in
+        :class:`RowBoxMatch` (a pk window, or a partially-covered round-robin
+        fk spread counted via :meth:`FKReference.count_matching_offsets`).
+        """
+        row = self.rows[position]
+        count = max(0, int(row.count))
+        if count == 0 or box.is_empty:
+            return None
+        start, end = self.pk_interval_of_row(position)
+        pk_window: IntervalSet | None = None
+        partial_fks: dict[str, tuple[IntervalSet, int]] = {}
+        for column, intervals in box.conditions.items():
+            if pk_column is not None and column == pk_column:
+                window = intervals.intersect(
+                    IntervalSet([Interval(float(start), float(end))])
+                )
+                matched = window.count_integers()
+                if matched < count:
+                    pk_window = window
+            elif column in row.fk_refs:
+                matched = row.fk_refs[column].count_matching_offsets(count, intervals)
+                if matched < count:
+                    partial_fks[column] = (intervals, matched)
+            else:
+                value = float(row.values.get(column, 0.0))
+                matched = count if intervals.contains(value) else 0
+            if matched == 0:
+                return None
+        return RowBoxMatch(count=count, pk_window=pk_window, partial_fks=partial_fks)
+
+    def count_matching_row(
+        self, position: int, box: BoxCondition, pk_column: str | None = None
+    ) -> int | None:
+        """Exact number of tuples of summary row ``position`` satisfying ``box``.
+
+        When two or more columns match only partially the matched subsets
+        are correlated through the tuple offset, so the method returns
+        ``None`` and the caller must fall back to streaming generation.
+        """
+        match = self.classify_row(position, box, pk_column=pk_column)
+        if match is None:
+            return 0
+        if match.partial_columns > 1:
+            return None
+        if match.pk_window is not None:
+            return match.pk_window.count_integers()
+        if match.partial_fks:
+            (_intervals, matched), = match.partial_fks.values()
+            return matched
+        return match.count
+
     def count_matching(self, box: BoxCondition, pk_column: str | None = None) -> int | None:
         """Exact number of regenerated tuples satisfying ``box`` — or ``None``.
 
-        Answered purely from the summary in O(#summary rows): per row, each
-        constrained column either passes for *all* tuples (representative
-        value inside the box, or every admissible fk target / pk index
-        covered), for *none*, or for an exactly countable subset (a pk range,
-        or the round-robin fk spread via
-        :meth:`FKReference.count_matching_offsets`).  When two or more
-        columns of the same summary row match only partially the matched
-        subsets are correlated through the tuple offset, so the method
-        returns ``None`` and the caller must fall back to streaming
-        generation.
+        Answered purely from the summary in O(#summary rows) by summing
+        :meth:`count_matching_row`; returns ``None`` as soon as any row's
+        matched subset is not exactly countable.
         """
         if box.is_empty:
             return 0
         total_matched = 0
-        for position, row in enumerate(self.rows):
-            count = max(0, int(row.count))
-            if count == 0:
-                continue
-            start, end = self.pk_interval_of_row(position)
-            partial: list[int] = []
-            excluded = False
-            for column, intervals in box.conditions.items():
-                if pk_column is not None and column == pk_column:
-                    window = intervals.intersect(
-                        IntervalSet([Interval(float(start), float(end))])
-                    )
-                    matched = window.count_integers()
-                elif column in row.fk_refs:
-                    matched = row.fk_refs[column].count_matching_offsets(count, intervals)
-                else:
-                    value = float(row.values.get(column, 0.0))
-                    matched = count if intervals.contains(value) else 0
-                if matched == 0:
-                    excluded = True
-                    break
-                if matched < count:
-                    partial.append(matched)
-            if excluded:
-                continue
-            if len(partial) > 1:
+        for position in range(len(self.rows)):
+            matched = self.count_matching_row(position, box, pk_column=pk_column)
+            if matched is None:
                 return None
-            total_matched += partial[0] if partial else count
+            total_matched += matched
         return total_matched
+
+    def matching_pk_intervals(
+        self, box: BoxCondition, pk_column: str | None = None, exact: bool = False
+    ) -> IntervalSet | None:
+        """Pk *index* intervals whose tuples may satisfy ``box``.
+
+        Walks the summary rows once and projects the box onto the relation's
+        contiguous pk index space (the deterministic alignment assigns each
+        summary row the pk range :meth:`pk_interval_of_row`).  By default the
+        result is a sound *superset*: a summary row whose fk spread matches
+        the box only partially keeps its whole segment, because the matching
+        offsets are scattered by the round-robin and do not form a pk range.
+        With ``exact=True`` the method instead returns exactly the matching
+        pk indices, or ``None`` when some row's matching subset is not a pk
+        range — the contract the join-COUNT fast path needs.
+        """
+        if box.is_empty:
+            return IntervalSet.empty()
+        pieces: list[Interval] = []
+        for position in range(len(self.rows)):
+            match = self.classify_row(position, box, pk_column=pk_column)
+            if match is None:
+                continue
+            if match.partial_fks and exact:
+                # Matching offsets are round-robin-scattered across the
+                # segment: not representable as pk intervals.
+                return None
+            if match.pk_window is not None:
+                pieces.extend(match.pk_window.intervals)
+            else:
+                start, end = self.pk_interval_of_row(position)
+                pieces.append(Interval(float(start), float(end)))
+        return IntervalSet(pieces)
 
     def non_empty_rows(self) -> list[SummaryRow]:
         return [row for row in self.rows if row.count > 0]

@@ -135,6 +135,7 @@ class TupleGenerator:
         box: BoxCondition,
         batch_size: int = 8192,
         columns: Sequence[str] | None = None,
+        skip_box: BoxCondition | None = None,
     ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
         """Stream ``(start, generated, matched, block)`` with only matching rows.
 
@@ -145,6 +146,16 @@ class TupleGenerator:
         (:meth:`RelationSummary.row_excluded`) are skipped without generating
         a single tuple, so a selective scan costs O(matching summary rows +
         output), not O(relation size) — and peak memory stays O(batch_size).
+
+        ``skip_box`` is an *additional* condition (in practice a semi-join
+        pushdown on a foreign-key column) whose rows the consumer does not
+        need, but whose exclusion must not disturb the ``matched`` accounting
+        for ``box``.  A segment that provably cannot satisfy ``skip_box`` is
+        skipped by yielding ``(segment_start, 0, matched, {})`` where
+        ``matched`` is the *exact* number of the segment's tuples satisfying
+        ``box`` (:meth:`RelationSummary.count_matching_row`); when that count
+        is not exactly computable the segment is generated normally so the
+        consumer can mask it itself.
         """
         requested = list(columns) if columns is not None else self.column_names
         needed = columns_with_dependencies(requested, box.conditions)
@@ -155,6 +166,14 @@ class TupleGenerator:
                 continue
             if self.summary.row_excluded(position, box, pk_column=pk):
                 continue
+            if skip_box is not None and self.summary.row_excluded(
+                position, skip_box, pk_column=pk
+            ):
+                matched = self.summary.count_matching_row(position, box, pk_column=pk)
+                if matched is not None:
+                    if matched:
+                        yield segment_start, 0, matched, {}
+                    continue
             cursor = segment_start
             while cursor < segment_end:
                 take = min(batch_size, segment_end - cursor)

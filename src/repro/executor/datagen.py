@@ -134,6 +134,7 @@ class DataGenRelation:
         box: "BoxCondition | None" = None,
         columns: Sequence[str] | None = None,
         batch_size: int | None = None,
+        skip_box: "BoxCondition | None" = None,
     ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
         """Stream ``(start, generated, matched, block)`` with only matching rows.
 
@@ -145,17 +146,24 @@ class DataGenRelation:
         converted to a predicate, when only a box is given).  Either way peak
         memory is bounded by the batch size plus the matching rows, and the
         rate limiter paces the *generated* tuples.
+
+        ``skip_box`` (a semi-join pushdown, see
+        :meth:`~repro.core.tuplegen.TupleGenerator.iter_filtered_blocks`) is
+        honoured only on the summary-backed path, where segments it excludes
+        can be replaced by an exact ``matched`` count without generation; the
+        masking fallback ignores it, leaving the consumer to apply it.
         """
         effective_batch = batch_size or self.batch_size
         requested = list(columns) if columns is not None else self.source.column_names
         source_filtered = getattr(self.source, "iter_filtered_blocks", None)
         if box is not None and callable(source_filtered):
             for start, generated, matched, block in source_filtered(
-                box, batch_size=effective_batch, columns=requested
+                box, batch_size=effective_batch, columns=requested, skip_box=skip_box
             ):
                 self.stats.rows_generated += generated
-                self.stats.batches += 1
-                self.stats.seconds_throttled += self.rate_limiter.throttle(generated)
+                if generated:
+                    self.stats.batches += 1
+                    self.stats.seconds_throttled += self.rate_limiter.throttle(generated)
                 yield start, generated, matched, block
             return
 

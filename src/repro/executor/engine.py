@@ -18,6 +18,7 @@ that are not materialised are pulled through their provider's bulk interface
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -31,17 +32,19 @@ from ..plans.logical import (
     PlanNode,
     ProjectNode,
     ScanNode,
+    leaf_scan,
 )
-from ..plans.planner import ScanPushdown, compute_pushdowns
+from ..plans.planner import (
+    ScanPushdown,
+    compute_pushdowns,
+    compute_semijoin_pushdowns,
+    exact_predicate_box,
+    fk_join_edge,
+)
 from ..sql.expressions import (
-    And,
     BoxCondition,
-    Comparison,
-    InList,
-    Not,
-    Or,
+    IntervalSet,
     Predicate,
-    TruePredicate,
     columns_with_dependencies,
 )
 from ..storage.database import Database, MaterializedRelation, RelationProvider
@@ -98,11 +101,17 @@ class ExecutionEngine:
     predicate so peak memory is bounded by the batch size plus the matching
     rows, never O(rows × columns) of the whole relation.  With
     ``summary_fastpath`` enabled, ``COUNT`` aggregates over a single
-    summary-backed relation are answered directly from the relation summary
-    (count × interval arithmetic, O(#summary rows)) whenever the pushed
-    filter is expressible as a box condition and the summary can answer it
-    exactly; otherwise execution falls back to the streaming scan.  Both
-    knobs leave every AQP annotation bit-identical to the naive route.
+    summary-backed relation — or over a single key/foreign-key join of two
+    summary-backed relations — are answered directly from the relation
+    summaries (count × interval arithmetic, O(#summary rows)) whenever the
+    pushed filters are expressible as box conditions and the summaries can
+    answer them exactly; otherwise execution falls back to the streaming
+    scan.  With ``streaming_join`` enabled (requires ``pushdown``), joins
+    with a dataless leaf input run build/probe: the smaller side (by summary
+    cardinality) is materialised as the build table and the other side is
+    streamed through it batch-by-batch, with semi-join FK pushdown skipping
+    probe summary segments that cannot join.  All knobs leave every AQP
+    annotation and every output block bit-identical to the naive route.
     """
 
     database: Database
@@ -110,8 +119,10 @@ class ExecutionEngine:
     batch_size: int = 65536
     pushdown: bool = True
     summary_fastpath: bool = True
+    streaming_join: bool = True
     _scanned_rows: int = field(default=0, init=False)
     _pushdowns: dict[int, ScanPushdown] = field(default_factory=dict, init=False)
+    _semijoins: dict[int, BoxCondition] = field(default_factory=dict, init=False)
 
     @property
     def schema(self) -> Schema:
@@ -123,6 +134,11 @@ class ExecutionEngine:
         """Execute a plan, optionally annotating node cardinalities in place."""
         self._scanned_rows = 0
         self._pushdowns = compute_pushdowns(plan, self.schema) if self.pushdown else {}
+        self._semijoins = (
+            compute_semijoin_pushdowns(plan, self.schema, self._plan_summaries(plan))
+            if self.pushdown and self.streaming_join
+            else {}
+        )
         block = self._execute_node(plan)
         return ExecutionResult(
             columns=block.columns,
@@ -162,13 +178,43 @@ class ExecutionEngine:
             fetched: Mapping[str, np.ndarray] = fetch(column_names, batch_size=self.batch_size)
             return {name: np.asarray(fetched[name]) for name in column_names}
         # Last resort: row-at-a-time generation through the provider protocol.
+        # Arrays take the schema column dtypes: collapsing everything to
+        # float64 here would poison join/key dtypes downstream.
+        table_obj = self.schema.table(table)
         order = provider.column_names
         indices = [order.index(name) for name in column_names]
         rows = [provider.row(i) for i in range(provider.row_count)]
         return {
-            name: np.asarray([row[idx] for row in rows], dtype=np.float64)
+            name: np.asarray(
+                [row[idx] for row in rows],
+                dtype=table_obj.column(name).dtype.numpy_dtype,
+            )
             for name, idx in zip(column_names, indices)
         }
+
+    def _relation_summary(self, table_name: str):
+        """The relation summary backing a dataless provider, if any."""
+        try:
+            provider = self.database.provider(table_name)
+        except KeyError:
+            return None
+        source = getattr(provider, "source", None)
+        summary = getattr(source, "summary", None)
+        if summary is None or not callable(getattr(summary, "count_matching", None)):
+            return None
+        return summary
+
+    def _plan_summaries(self, plan: PlanNode) -> dict[str, Any]:
+        """Summaries of every summary-backed relation scanned by the plan."""
+        summaries: dict[str, Any] = {}
+        for node in plan.iter_nodes():
+            if isinstance(node, ScanNode) and node.table not in summaries:
+                summary = self._relation_summary(node.table)
+                if summary is not None and callable(
+                    getattr(summary, "matching_pk_intervals", None)
+                ):
+                    summaries[node.table] = summary
+        return summaries
 
     @staticmethod
     def _ordered_columns(selection: tuple[str, ...] | None, table: Table) -> list[str]:
@@ -198,22 +244,12 @@ class ExecutionEngine:
     def _predicate_box(self, predicate: Predicate, table: Table) -> BoxCondition | None:
         """Convert a predicate to an *exactly equivalent* box, else ``None``.
 
-        Box conditions on continuous columns approximate ``=``, ``!=``,
-        ``<=`` and ``>`` with epsilon-widened half-open intervals; masking or
-        summary-counting with such a box could diverge from the naive route
-        on values inside the epsilon window.  Those predicates are therefore
-        rejected here (the streaming scan then masks with the original
-        predicate, and the fast path does not apply), keeping every route
-        bit-identical.  Discrete columns hold integral values, for which the
-        conversion is always exact; ``<``/``>=`` are exact on any domain.
+        Delegates to :func:`~repro.plans.planner.exact_predicate_box`: when
+        the box would be an epsilon-approximation the streaming scan masks
+        with the original predicate instead and the fast paths do not apply,
+        keeping every route bit-identical.
         """
-        if not _box_semantics_exact(predicate, table):
-            return None
-        discrete = {column.name: column.dtype.is_discrete for column in table.columns}
-        try:
-            return predicate.to_box(discrete)
-        except ValueError:
-            return None
+        return exact_predicate_box(predicate, table)
 
     def _empty_column(self, table: Table, name: str) -> np.ndarray:
         return np.empty(0, dtype=table.column(name).dtype.numpy_dtype)
@@ -314,6 +350,10 @@ class ExecutionEngine:
     # -- joins -------------------------------------------------------------
 
     def _execute_join(self, node: JoinNode) -> _Block:
+        if self.pushdown and self.streaming_join:
+            block = self._execute_streaming_join(node)
+            if block is not None:
+                return block
         left = self._execute_node(node.left)
         right = self._execute_node(node.right)
         condition = node.condition
@@ -334,6 +374,173 @@ class ExecutionEngine:
         for name, values in right.columns.items():
             columns[name] = values[right_indices]
         return _Block(columns=columns, row_count=int(len(left_indices)))
+
+    def _streamable_leaf(self, child: PlanNode) -> tuple[ScanNode, FilterNode | None] | None:
+        """The child's leaf access path, if it can be streamed as a probe side."""
+        leaf = leaf_scan(child)
+        if leaf is None:
+            return None
+        scan, filter_node = leaf
+        if not self.schema.has_table(scan.table):
+            return None
+        try:
+            provider = self.database.provider(scan.table)
+        except KeyError:
+            return None
+        if not callable(getattr(provider, "iter_filtered_blocks", None)):
+            return None
+        if filter_node is not None:
+            push = self._pushdowns.get(scan.node_id)
+            if push is None or push.predicate is not filter_node.predicate:
+                return None
+            if not filter_node.predicate.columns():
+                # Column-free predicates have a constant verdict; the fused
+                # filtered-scan route handles them, keep joins off them.
+                return None
+        return leaf
+
+    def _estimated_leaf_rows(self, scan: ScanNode, filter_node: FilterNode | None) -> int:
+        """Summary-estimated output rows of a leaf (exact when computable)."""
+        provider = self.database.provider(scan.table)
+        total = provider.row_count
+        if filter_node is None:
+            return total
+        summary = self._relation_summary(scan.table)
+        if summary is None:
+            return total
+        table = self.schema.table(scan.table)
+        box = self._predicate_box(filter_node.predicate, table)
+        if box is None:
+            return total
+        count = summary.count_matching(box, pk_column=table.primary_key)
+        return total if count is None else int(count)
+
+    def _execute_streaming_join(self, node: JoinNode) -> _Block | None:
+        """Build/probe hash join with the probe side streamed batch-by-batch.
+
+        The build side — chosen as the input with the smaller summary
+        cardinality — is materialised by ordinary (itself pushdown-enabled)
+        execution; the probe side, which must be the leaf access path of a
+        relation that supports filtered block iteration, streams through the
+        build hash table so peak memory is O(build + batch + output) instead
+        of O(both relations).  A semi-join box computed by the planner
+        (:func:`~repro.plans.planner.compute_semijoin_pushdowns`) lets whole
+        probe summary segments be skipped — their contribution to the probe
+        filter's AQP annotation is recovered exactly from the summary — and
+        masks generated probe rows that provably have no join partner.
+        Output rows, column order and all annotations are bit-identical to
+        the materialising route.  Returns ``None`` when the pattern does not
+        apply (the caller then materialises both inputs).
+        """
+        condition = node.condition
+        if condition.left_table == condition.right_table:
+            return None  # self-joins keep the materialising route
+        left_leaf = self._streamable_leaf(node.left)
+        right_leaf = self._streamable_leaf(node.right)
+        if left_leaf is None and right_leaf is None:
+            return None
+        if left_leaf is not None and right_leaf is not None:
+            left_rows = self._estimated_leaf_rows(*left_leaf)
+            right_rows = self._estimated_leaf_rows(*right_leaf)
+            probe_is_left = left_rows >= right_rows
+        else:
+            probe_is_left = left_leaf is not None
+        scan, filter_node = left_leaf if probe_is_left else right_leaf  # type: ignore[misc]
+        if not condition.involves(scan.table):
+            return None
+        probe_key = condition.side_column(scan.table)
+        build_table, build_key = condition.other_side(scan.table)
+        table = self.schema.table(scan.table)
+        if not table.has_column(probe_key):
+            return None
+        provider = self.database.provider(scan.table)
+
+        push = self._pushdowns.get(scan.node_id)
+        output = self._ordered_columns(
+            None if push is None else push.output_columns, table
+        )
+        if probe_key not in output:
+            return None  # the join key must flow out of the probe scan
+        predicate = filter_node.predicate if filter_node is not None else None
+        box = (
+            self._predicate_box(predicate, table)
+            if predicate is not None
+            else BoxCondition({})
+        )
+        semijoin = self._semijoins.get(scan.node_id)
+        if semijoin is not None and not set(semijoin.conditions) <= set(output):
+            semijoin = None
+
+        build = self._execute_node(node.right if probe_is_left else node.left)
+        build_key_name = f"{build_table}.{build_key}"
+        if build_key_name not in build.columns:
+            raise ExecutorError(
+                f"join keys {scan.table}.{probe_key}/{build_key_name} not available"
+            )
+        build_keys = build.columns[build_key_name]
+
+        stream_kwargs: dict[str, Any] = dict(
+            predicate=predicate, box=box, columns=output, batch_size=self.batch_size
+        )
+        if semijoin is not None:
+            stream_kwargs["skip_box"] = semijoin
+        matched_total = 0
+        probe_chunks: dict[str, list[np.ndarray]] = {name: [] for name in output}
+        build_index_chunks: list[np.ndarray] = []
+        for _start, generated, batch_matched, block in provider.iter_filtered_blocks(
+            **stream_kwargs
+        ):
+            self._scanned_rows += generated
+            matched_total += batch_matched
+            if batch_matched == 0 or not block:
+                # Semi-join-skipped segment: only its exact filter count
+                # matters; none of its rows can produce a join partner.
+                continue
+            batch = block
+            if semijoin is not None and generated:
+                semi_mask = semijoin.evaluate(batch)
+                if not semi_mask.all():
+                    batch = {name: values[semi_mask] for name, values in batch.items()}
+            probe_idx, build_idx = _hash_join_indices(batch[probe_key], build_keys)
+            if len(probe_idx) == 0:
+                continue
+            for name in output:
+                probe_chunks[name].append(batch[name][probe_idx])
+            build_index_chunks.append(build_idx)
+
+        if self.annotate:
+            scan.cardinality = provider.row_count
+            if filter_node is not None:
+                filter_node.cardinality = matched_total
+
+        build_indices = (
+            np.concatenate(build_index_chunks)
+            if build_index_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        probe_columns = {
+            name: (np.concatenate(chunks) if chunks else self._empty_column(table, name))
+            for name, chunks in probe_chunks.items()
+        }
+        if not probe_is_left:
+            # The materialising route orders output by left (here: build) row,
+            # each left row's matches in probe order; a stable sort on the
+            # accumulated build indices restores exactly that order.
+            perm = np.argsort(build_indices, kind="stable")
+            build_indices = build_indices[perm]
+            probe_columns = {name: values[perm] for name, values in probe_columns.items()}
+
+        probe_qualified = {
+            f"{scan.table}.{name}": values for name, values in probe_columns.items()
+        }
+        build_gathered = {
+            name: values[build_indices] for name, values in build.columns.items()
+        }
+        if probe_is_left:
+            columns = {**probe_qualified, **build_gathered}
+        else:
+            columns = {**build_gathered, **probe_qualified}
+        return _Block(columns=columns, row_count=int(len(build_indices)))
 
     # -- projection / aggregation -----------------------------------------
 
@@ -360,6 +567,8 @@ class ExecutionEngine:
             raise ExecutorError(f"unsupported aggregate {node.function!r}")
         if self.summary_fastpath:
             fast = self._summary_count(node.child)
+            if fast is None:
+                fast = self._summary_join_count(node.child)
             if fast is not None:
                 return _Block(
                     columns={"count": np.asarray([fast], dtype=np.int64)},
@@ -382,23 +591,15 @@ class ExecutionEngine:
         Annotates the scan/filter nodes with the same cardinalities streaming
         would produce, without generating a single tuple.
         """
-        filter_node: FilterNode | None = None
-        if isinstance(child, ScanNode):
-            scan = child
-        elif (
-            isinstance(child, FilterNode)
-            and isinstance(child.child, ScanNode)
-            and child.child.table == child.table
-        ):
-            filter_node, scan = child, child.child
-        else:
+        leaf = leaf_scan(child)
+        if leaf is None:
             return None
+        scan, filter_node = leaf
 
-        provider = self.database.provider(scan.table)
-        source = getattr(provider, "source", None)
-        summary = getattr(source, "summary", None)
-        if summary is None or not callable(getattr(summary, "count_matching", None)):
+        summary = self._relation_summary(scan.table)
+        if summary is None:
             return None
+        provider = self.database.provider(scan.table)
 
         table = self.schema.table(scan.table)
         if filter_node is None:
@@ -416,47 +617,158 @@ class ExecutionEngine:
                 filter_node.cardinality = int(count)
         return int(count)
 
+    def _summary_join_count(self, child: PlanNode) -> int | None:
+        """Answer COUNT over a single FK–PK join straight from the summaries.
 
-def _box_semantics_exact(predicate: Predicate, table: Table) -> bool:
-    """Whether ``predicate.to_box()`` is exactly equivalent to the predicate.
+        Applies when both join inputs are leaf access paths of summary-backed
+        dataless relations, the join follows the schema's foreign-key edge
+        onto the referenced primary key, and both pushed filters normalise to
+        exact boxes.  The referenced side's exactly-matching pk indices are
+        projected with
+        :meth:`~repro.core.summary.RelationSummary.matching_pk_intervals`
+        (``exact=True``); each referencing summary row then contributes the
+        :meth:`~repro.core.summary.FKReference.count_matching_offsets` of its
+        round-robin spread against those intervals — O(#summary rows) total,
+        zero tuples generated, and exact because every referencing tuple
+        joins at most one (unique, auto-numbered) referenced pk.  Returns
+        ``None`` whenever any step is not exactly countable, so the caller
+        falls back to streaming execution — mirroring :meth:`_summary_count`'s
+        bit-identical guarantee.  Annotates both leaves and the join node
+        with the cardinalities streaming would produce.
+        """
+        if not isinstance(child, JoinNode):
+            return None
+        condition = child.condition
+        edge = fk_join_edge(condition, self.schema)
+        if edge is None:
+            return None
+        fk_table_name, fk_column, ref_table_name, ref_column = edge
+        left_leaf = leaf_scan(child.left)
+        right_leaf = leaf_scan(child.right)
+        if left_leaf is None or right_leaf is None:
+            return None
+        leaves = {leaf[0].table: leaf for leaf in (left_leaf, right_leaf)}
+        if set(leaves) != {condition.left_table, condition.right_table}:
+            return None
 
-    Exactness composes: intersections/unions/complements of exact per-column
-    interval sets stay exact, so only the leaves matter.  A comparison on a
-    discrete column is always exact (the internal domain is integral); on a
-    continuous column only ``<`` and ``>=`` avoid the epsilon approximation.
-    """
-    if isinstance(predicate, TruePredicate):
-        return True
-    if isinstance(predicate, Comparison):
-        if not table.has_column(predicate.column):
-            # Unknown columns must surface as errors on every route, never be
-            # silently counted against a summary default value.
-            return False
-        if predicate.op in ("<", ">="):
-            return True
-        # =, !=, <= and > round the bound to the next representable point;
-        # on a discrete column that is exact only for integral constants
-        # (qty = 2.5 matches nothing, but its box [2.5, 3.5) matches 3).
-        return (
-            table.column(predicate.column).dtype.is_discrete
-            and float(predicate.value).is_integer()
+        fk_scan, fk_filter = leaves[fk_table_name]
+        ref_scan, ref_filter = leaves[ref_table_name]
+        fk_summary = self._relation_summary(fk_table_name)
+        ref_summary = self._relation_summary(ref_table_name)
+        if fk_summary is None or ref_summary is None:
+            return None
+        if not callable(getattr(ref_summary, "matching_pk_intervals", None)):
+            return None
+        fk_table = self.schema.table(fk_table_name)
+        ref_table = self.schema.table(ref_table_name)
+
+        ref_box = BoxCondition({})
+        if ref_filter is not None:
+            ref_box = self._predicate_box(ref_filter.predicate, ref_table)
+            if ref_box is None:
+                return None
+        fk_box = BoxCondition({})
+        if fk_filter is not None:
+            fk_box = self._predicate_box(fk_filter.predicate, fk_table)
+            if fk_box is None:
+                return None
+        ref_intervals = ref_summary.matching_pk_intervals(
+            ref_box, pk_column=ref_column, exact=True
         )
-    if isinstance(predicate, InList):
-        return (
-            table.has_column(predicate.column)
-            and table.column(predicate.column).dtype.is_discrete
-            and all(float(value).is_integer() for value in predicate.values)
+        if ref_intervals is None:
+            return None
+
+        counted = self._count_fk_rows_joining(
+            fk_summary, fk_table, fk_column, fk_box, ref_intervals
         )
-    if isinstance(predicate, And):
-        return all(_box_semantics_exact(child, table) for child in predicate.children)
-    if isinstance(predicate, Or):
-        # An empty Or evaluates to all-False but its box is unconstrained.
-        return bool(predicate.children) and all(
-            _box_semantics_exact(child, table) for child in predicate.children
-        )
-    if isinstance(predicate, Not):
-        return _box_semantics_exact(predicate.child, table)
-    return False
+        if counted is None:
+            return None
+        filter_matched, joined = counted
+
+        if self.annotate:
+            fk_scan.cardinality = self.database.provider(fk_table_name).row_count
+            ref_scan.cardinality = self.database.provider(ref_table_name).row_count
+            if fk_filter is not None:
+                fk_filter.cardinality = int(filter_matched)
+            if ref_filter is not None:
+                ref_filter.cardinality = int(ref_intervals.count_integers())
+            child.cardinality = int(joined)
+        return int(joined)
+
+    def _count_fk_rows_joining(
+        self,
+        fk_summary: Any,
+        fk_table: Table,
+        fk_column: str,
+        fk_box: BoxCondition,
+        ref_intervals: IntervalSet,
+    ) -> tuple[int, int] | None:
+        """``(filter_matched, joined)`` counts of the referencing relation.
+
+        ``filter_matched`` is the number of referencing tuples satisfying
+        ``fk_box`` (the FK side's own filter annotation); ``joined`` is the
+        subset whose FK target additionally lands in ``ref_intervals`` (the
+        referenced pks that survive the other side's filter).  Both build on
+        :meth:`~repro.core.summary.RelationSummary.classify_row` — the one
+        place the per-row pass/fail/partial arithmetic lives — plus
+        round-robin prefix counting for the join; returns ``None`` when a
+        row's matched subset is not exactly countable (two partially
+        matching columns, or a partial on a foreign key other than the join
+        key, are correlated through the tuple offset).
+        """
+        pk_column = fk_table.primary_key
+        filter_matched = 0
+        joined = 0
+        for position, row in enumerate(fk_summary.rows):
+            match = fk_summary.classify_row(position, fk_box, pk_column=pk_column)
+            if match is None:
+                continue
+            if match.partial_columns > 1:
+                return None
+            if any(column != fk_column for column in match.partial_fks):
+                return None
+            own_fk = match.partial_fks.get(fk_column)
+            count = match.count
+
+            if fk_column in row.fk_refs:
+                ref = row.fk_refs[fk_column]
+                allowed = (
+                    ref_intervals
+                    if own_fk is None
+                    else ref_intervals.intersect(own_fk[0])
+                )
+                if match.pk_window is not None:
+                    # Offsets are pk indices shifted by the segment start, so
+                    # a pk window is an offset range; prefix-count differences
+                    # of the round-robin spread count its joining tuples.
+                    start, _end = fk_summary.pk_interval_of_row(position)
+                    row_joined = 0
+                    for piece in match.pk_window:
+                        low = int(math.ceil(piece.low)) - start
+                        high = low + piece.count_integers()
+                        row_joined += ref.count_matching_offsets(
+                            high, allowed
+                        ) - ref.count_matching_offsets(low, allowed)
+                    row_filter = match.pk_window.count_integers()
+                elif own_fk is not None:
+                    row_joined = ref.count_matching_offsets(count, allowed)
+                    row_filter = own_fk[1]
+                else:
+                    row_joined = ref.count_matching_offsets(count, allowed)
+                    row_filter = count
+            else:
+                # The FK column is generated as a constant representative
+                # value for every tuple of this row.
+                value = float(row.values.get(fk_column, 0.0))
+                row_filter = (
+                    match.pk_window.count_integers()
+                    if match.pk_window is not None
+                    else count
+                )
+                row_joined = row_filter if ref_intervals.contains(value) else 0
+            filter_matched += row_filter
+            joined += row_joined
+        return filter_matched, joined
 
 
 def _hash_join_indices(

@@ -112,8 +112,14 @@ class RateLimiter:
         return 0.0
 
     def observed_rate(self) -> float:
-        """Rows per second achieved so far (``inf`` if no time has elapsed)."""
-        if self._start is None or self._produced == 0:
+        """Rows per second achieved so far.
+
+        ``0.0`` before the first :meth:`throttle` call (nothing has been
+        observed yet); ``inf`` if no time has elapsed since it — regardless
+        of how many rows were produced in that instant; otherwise
+        ``rows_produced / elapsed_seconds``.
+        """
+        if self._start is None:
             return 0.0
         elapsed = self.clock() - self._start
         if elapsed <= 0:

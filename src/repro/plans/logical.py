@@ -28,6 +28,7 @@ __all__ = [
     "JoinNode",
     "ProjectNode",
     "AggregateNode",
+    "leaf_scan",
     "plan_from_dict",
 ]
 
@@ -203,6 +204,26 @@ class AggregateNode(PlanNode):
 
     def to_dict(self) -> dict[str, Any]:
         return self._base_dict(function=self.function, child=self.child.to_dict())
+
+
+def leaf_scan(node: PlanNode) -> tuple[ScanNode, FilterNode | None] | None:
+    """The ``(scan, filter)`` pair of a leaf access path, if ``node`` is one.
+
+    A leaf access path is a bare :class:`ScanNode` or a :class:`FilterNode`
+    sitting directly on the scan of its own table — the shape the planner
+    emits for every base relation.  Streaming execution (fused filter+scan,
+    build/probe joins, semi-join pushdown) keys off this shape; any other
+    subtree returns ``None``.
+    """
+    if isinstance(node, ScanNode):
+        return node, None
+    if (
+        isinstance(node, FilterNode)
+        and isinstance(node.child, ScanNode)
+        and node.child.table == node.table
+    ):
+        return node.child, node
+    return None
 
 
 def plan_from_dict(payload: Mapping[str, Any]) -> PlanNode:

@@ -22,9 +22,16 @@ Plan shape:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
-from ..catalog.schema import Schema
-from ..sql.expressions import Predicate
+from ..catalog.schema import Schema, Table
+from ..sql.expressions import (
+    BoxCondition,
+    Interval,
+    IntervalSet,
+    Predicate,
+    box_semantics_exact,
+)
 from ..sql.query import JoinCondition, Query
 from .logical import (
     AggregateNode,
@@ -33,9 +40,21 @@ from .logical import (
     PlanNode,
     ProjectNode,
     ScanNode,
+    leaf_scan,
 )
 
-__all__ = ["PlannerError", "ScanPushdown", "build_plan", "compute_pushdowns"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.summary import RelationSummary
+
+__all__ = [
+    "PlannerError",
+    "ScanPushdown",
+    "build_plan",
+    "compute_pushdowns",
+    "compute_semijoin_pushdowns",
+    "exact_predicate_box",
+    "fk_join_edge",
+]
 
 
 class PlannerError(ValueError):
@@ -210,4 +229,141 @@ def compute_pushdowns(plan: PlanNode, schema: Schema) -> dict[int, ScanPushdown]
             output_columns=tuple(name for name in order if name in output),
             predicate=predicate,
         )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Semi-join foreign-key pushdown analysis
+# ---------------------------------------------------------------------------
+
+
+def exact_predicate_box(predicate: Predicate, table: Table) -> BoxCondition | None:
+    """``predicate`` as an *exactly equivalent* box condition, else ``None``.
+
+    Box conditions on continuous columns approximate ``=``, ``!=``, ``<=``
+    and ``>`` with epsilon-widened half-open intervals; routing execution or
+    summary arithmetic through such a box could diverge from predicate
+    evaluation on values inside the epsilon window, so those predicates are
+    rejected (see :func:`repro.sql.expressions.box_semantics_exact`).
+    """
+    discrete = {column.name: column.dtype.is_discrete for column in table.columns}
+    if not box_semantics_exact(predicate, discrete):
+        return None
+    try:
+        return predicate.to_box(discrete)
+    except ValueError:
+        return None
+
+
+def fk_join_edge(
+    condition: JoinCondition, schema: Schema
+) -> tuple[str, str, str, str] | None:
+    """Resolve a join condition onto the schema's foreign-key graph.
+
+    Returns ``(fk_table, fk_column, ref_table, ref_column)`` when the
+    condition equi-joins a foreign-key column onto the primary key it
+    references (in either orientation), else ``None``.  This is the single
+    eligibility check shared by the semi-join pushdown pass and the engine's
+    join-COUNT fast path, so the two can never disagree about which joins
+    follow an FK–PK edge.
+    """
+    if condition.left_table == condition.right_table:
+        return None
+    for fk_table in (condition.left_table, condition.right_table):
+        if not schema.has_table(fk_table):
+            continue
+        fk_column = condition.side_column(fk_table)
+        ref_table, ref_column = condition.other_side(fk_table)
+        fk = schema.table(fk_table).foreign_key_for(fk_column)
+        if (
+            fk is not None
+            and fk.ref_table == ref_table
+            and fk.ref_column == ref_column
+            and schema.has_table(ref_table)
+            and schema.table(ref_table).primary_key == ref_column
+        ):
+            return fk_table, fk_column, ref_table, ref_column
+    return None
+
+
+def _referenced_filter_box(subtree: PlanNode, table: Table) -> BoxCondition:
+    """The referenced side's own pushed filter, as a *sound* box.
+
+    Only the filter sitting directly on the referenced table's scan counts
+    (other operators in the subtree can merely remove further rows, which
+    keeps any projection derived from this box a superset).  When the filter
+    is not exactly box-representable the unconstrained box is returned —
+    still sound, just less selective.
+    """
+    for node in subtree.iter_nodes():
+        if (
+            isinstance(node, FilterNode)
+            and node.table == table.name
+            and isinstance(node.child, ScanNode)
+        ):
+            box = exact_predicate_box(node.predicate, table)
+            return box if box is not None else BoxCondition({})
+    return BoxCondition({})
+
+
+def compute_semijoin_pushdowns(
+    plan: PlanNode,
+    schema: Schema,
+    summaries: Mapping[str, "RelationSummary"],
+) -> dict[int, BoxCondition]:
+    """Per-:class:`ScanNode` semi-join boxes for key/foreign-key joins.
+
+    For every join whose direct child is the leaf access path of the
+    *referencing* (foreign-key) side, the referenced side's matching pk
+    index intervals — computed from its relation summary and its own pushed
+    filter box — are projected into a box condition on the referencing
+    side's FK column.  Probe-side summary segments whose admissible FK
+    targets all fall outside those intervals can then be skipped without
+    generating a tuple, and generated probe rows outside them can be masked
+    before the hash probe: either way no join partner exists for them.
+
+    The projection is a sound superset of the referenced pks that survive
+    into the build side, so skipping/masking never changes the join output.
+    It is restricted to the join *directly above* the leaf because a box
+    borrowed from a later join in the chain would change the intermediate
+    join's output (and its AQP annotation).  Keyed by ``node_id`` of the
+    referencing side's scan; only summary-backed referenced relations (whose
+    regenerated pks are the auto-numbered indices the summary describes)
+    contribute.
+    """
+    result: dict[int, BoxCondition] = {}
+    for node in plan.iter_nodes():
+        if not isinstance(node, JoinNode):
+            continue
+        edge = fk_join_edge(node.condition, schema)
+        if edge is None:
+            continue
+        fk_table, fk_column, ref_table_name, ref_column = edge
+        for probe_child, build_child in (
+            (node.left, node.right),
+            (node.right, node.left),
+        ):
+            leaf = leaf_scan(probe_child)
+            if leaf is None:
+                continue
+            scan, _filter = leaf
+            if scan.table != fk_table:
+                continue
+            summary = summaries.get(ref_table_name)
+            if summary is None:
+                continue
+            ref_box = _referenced_filter_box(build_child, schema.table(ref_table_name))
+            intervals = summary.matching_pk_intervals(ref_box, pk_column=ref_column)
+            if intervals is None:
+                continue
+            # An unselective projection (every referenced pk index reachable)
+            # cannot skip or mask anything: FK targets are valid pks by
+            # construction, so don't pay the per-batch evaluation for it.
+            total = summary.total_rows
+            covered = IntervalSet([Interval(0.0, float(total))]).subtract(intervals)
+            if total > 0 and covered.count_integers() == 0:
+                continue
+            box = BoxCondition({fk_column: intervals})
+            existing = result.get(scan.node_id)
+            result[scan.node_id] = box if existing is None else existing.intersect(box)
     return result

@@ -31,6 +31,7 @@ __all__ = [
     "Not",
     "ColumnCondition",
     "BoxCondition",
+    "box_semantics_exact",
     "columns_with_dependencies",
     "predicate_from_dict",
 ]
@@ -524,6 +525,11 @@ class Or(Predicate):
         return names
 
     def to_box(self, discrete_columns: Mapping[str, bool] | None = None) -> "BoxCondition":
+        if not self.children:
+            # The empty disjunction evaluates to all-false; ``BoxCondition({})``
+            # would be the match-all box, silently flipping the semantics for
+            # every box-routed consumer (filter pushdown, summary counting).
+            return BoxCondition.never()
         referenced = self.columns()
         if len(referenced) > 1:
             raise ValueError(
@@ -531,10 +537,21 @@ class Or(Predicate):
             )
         column = next(iter(referenced)) if referenced else None
         if column is None:
-            return BoxCondition({})
+            # Column-free children have constant verdicts (TruePredicate,
+            # nested empty disjunctions): the disjunction holds iff any child
+            # normalises to a satisfiable box.
+            if any(not child.to_box(discrete_columns).is_empty for child in self.children):
+                return BoxCondition({})
+            return BoxCondition.never()
         combined = IntervalSet.empty()
         for child in self.children:
             child_box = child.to_box(discrete_columns)
+            if child_box.is_empty:
+                # An unsatisfiable disjunct (e.g. a nested empty disjunction)
+                # contributes nothing; asking it for the column's condition
+                # would return the unconstrained interval set and silently
+                # flip the disjunction to match-all.
+                continue
             combined = combined.union(child_box.condition_for(column))
         return BoxCondition({column: combined})
 
@@ -563,6 +580,11 @@ class Not(Predicate):
             raise ValueError("only single-column negations can be normalised to a box")
         column = next(iter(referenced))
         child_box = self.child.to_box(discrete_columns)
+        if not child_box.satisfiable:
+            # NOT of a flag-unsatisfiable child (e.g. AND with an empty
+            # disjunction) holds everywhere; the child's per-column intervals
+            # are irrelevant and complementing them would be unsound.
+            return BoxCondition({})
         return BoxCondition({column: child_box.condition_for(column).complement()})
 
     def to_dict(self) -> dict[str, Any]:
@@ -591,27 +613,39 @@ class BoxCondition:
     Columns not present are unconstrained.  This is the canonical constraint
     form consumed by the LP formulator: every workload predicate, and every
     predicate borrowed across a key/foreign-key join, ends up as one of these.
+
+    ``satisfiable=False`` marks the *falsum* box (no tuple can ever match) —
+    needed because a column-free contradiction such as the empty disjunction
+    has no per-column interval set to carry its emptiness.
     """
 
-    __slots__ = ("conditions",)
+    __slots__ = ("conditions", "satisfiable")
 
-    def __init__(self, conditions: Mapping[str, IntervalSet]):
+    def __init__(self, conditions: Mapping[str, IntervalSet], satisfiable: bool = True):
         cleaned = {
             column: interval_set
             for column, interval_set in conditions.items()
             if not interval_set.is_everything
         }
         self.conditions: dict[str, IntervalSet] = dict(sorted(cleaned.items()))
+        self.satisfiable: bool = bool(satisfiable)
+
+    @classmethod
+    def never(cls) -> "BoxCondition":
+        """The unsatisfiable box: matches no tuple on any relation."""
+        return cls({}, satisfiable=False)
 
     # -- basic accessors -------------------------------------------------
 
     @property
     def is_unconstrained(self) -> bool:
-        return not self.conditions
+        return self.satisfiable and not self.conditions
 
     @property
     def is_empty(self) -> bool:
-        return any(interval_set.is_empty for interval_set in self.conditions.values())
+        return not self.satisfiable or any(
+            interval_set.is_empty for interval_set in self.conditions.values()
+        )
 
     def columns(self) -> set[str]:
         return set(self.conditions)
@@ -628,23 +662,27 @@ class BoxCondition:
                 conditions[column] = conditions[column].intersect(interval_set)
             else:
                 conditions[column] = interval_set
-        return BoxCondition(conditions)
+        return BoxCondition(conditions, satisfiable=self.satisfiable and other.satisfiable)
 
     def with_condition(self, column: str, intervals: IntervalSet) -> "BoxCondition":
         conditions = dict(self.conditions)
         conditions[column] = self.condition_for(column).intersect(intervals)
-        return BoxCondition(conditions)
+        return BoxCondition(conditions, satisfiable=self.satisfiable)
 
     # -- evaluation ------------------------------------------------------
 
     def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
         length = len(next(iter(columns.values()))) if columns else 0
+        if not self.satisfiable:
+            return np.zeros(length, dtype=bool)
         mask = np.ones(length, dtype=bool)
         for column, interval_set in self.conditions.items():
             mask &= interval_set.membership_mask(np.asarray(columns[column]))
         return mask
 
     def contains_point(self, point: Mapping[str, float]) -> bool:
+        if not self.satisfiable:
+            return False
         for column, interval_set in self.conditions.items():
             if column not in point:
                 return False
@@ -656,6 +694,8 @@ class BoxCondition:
 
     def to_predicate(self) -> Predicate:
         """Convert back to a predicate AST (for execution / verification)."""
+        if not self.satisfiable:
+            return Or(())
         children: list[Predicate] = []
         for column, interval_set in self.conditions.items():
             column_children: list[Predicate] = []
@@ -679,30 +719,89 @@ class BoxCondition:
         return And(children)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             column: interval_set.to_dict()
             for column, interval_set in self.conditions.items()
         }
+        if not self.satisfiable:
+            payload["__unsatisfiable__"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "BoxCondition":
         return cls(
-            {column: IntervalSet.from_dict(item) for column, item in payload.items()}
+            {
+                column: IntervalSet.from_dict(item)
+                for column, item in payload.items()
+                if column != "__unsatisfiable__"
+            },
+            satisfiable=not payload.get("__unsatisfiable__", False),
         )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BoxCondition):
             return NotImplemented
-        return self.conditions == other.conditions
+        return self.satisfiable == other.satisfiable and self.conditions == other.conditions
 
     def __hash__(self) -> int:
-        return hash(tuple(self.conditions.items()))
+        return hash((self.satisfiable, tuple(self.conditions.items())))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.satisfiable:
+            return "BoxCondition(FALSE)"
         if self.is_unconstrained:
             return "BoxCondition(TRUE)"
         parts = [f"{column} ∈ {interval_set!r}" for column, interval_set in self.conditions.items()]
         return "BoxCondition(" + " ∧ ".join(parts) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Box-conversion exactness
+# ---------------------------------------------------------------------------
+
+
+def box_semantics_exact(predicate: Predicate, discrete_columns: Mapping[str, bool]) -> bool:
+    """Whether ``predicate.to_box(discrete_columns)`` is *exactly* equivalent.
+
+    ``discrete_columns`` maps every known column of the relation to whether
+    its internal domain is discrete (integral); a column absent from the
+    mapping is unknown and makes the predicate inexact, so that unknown
+    columns surface as errors on every execution route instead of being
+    silently counted against a summary default value.
+
+    Exactness composes: intersections/unions/complements of exact per-column
+    interval sets stay exact, so only the leaves matter.  A comparison on a
+    discrete column is exact only for integral constants (``qty = 2.5``
+    matches nothing, but its box ``[2.5, 3.5)`` matches 3); on a continuous
+    column only ``<`` and ``>=`` avoid the epsilon approximation.
+    """
+    if isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, Comparison):
+        if predicate.column not in discrete_columns:
+            return False
+        if predicate.op in ("<", ">="):
+            return True
+        # =, !=, <= and > round the bound to the next representable point.
+        return (
+            discrete_columns[predicate.column]
+            and float(predicate.value).is_integer()
+        )
+    if isinstance(predicate, InList):
+        return (
+            predicate.column in discrete_columns
+            and discrete_columns[predicate.column]
+            and all(float(value).is_integer() for value in predicate.values)
+        )
+    if isinstance(predicate, And):
+        return all(box_semantics_exact(child, discrete_columns) for child in predicate.children)
+    if isinstance(predicate, Or):
+        # The empty disjunction normalises to the unsatisfiable box, which is
+        # exactly its all-false evaluation semantics.
+        return all(box_semantics_exact(child, discrete_columns) for child in predicate.children)
+    if isinstance(predicate, Not):
+        return box_semantics_exact(predicate.child, discrete_columns)
+    return False
 
 
 # ---------------------------------------------------------------------------

@@ -90,16 +90,19 @@ class VerificationResult:
 class VolumetricComparator:
     """Re-executes a workload on a regenerated database and compares AQPs.
 
-    ``pushdown`` / ``summary_fastpath`` select the execution route (streaming
-    pushdown scans and the summary-fast-path for counts, both on by default).
-    Every route annotates plans with identical cardinalities, so verification
-    results do not depend on the route — the flags only matter for timing
-    comparisons and for exercising a specific path in tests/benchmarks.
+    ``pushdown`` / ``summary_fastpath`` / ``streaming_join`` select the
+    execution route (streaming pushdown scans, the summary-fast-paths for
+    counts and join-counts, and build/probe streaming joins — all on by
+    default).  Every route annotates plans with identical cardinalities, so
+    verification results do not depend on the route — the flags only matter
+    for timing comparisons and for exercising a specific path in
+    tests/benchmarks.
     """
 
     database: Database
     pushdown: bool = True
     summary_fastpath: bool = True
+    streaming_join: bool = True
 
     def verify(self, aqps: Iterable[AnnotatedQueryPlan]) -> VerificationResult:
         engine = ExecutionEngine(
@@ -107,6 +110,7 @@ class VolumetricComparator:
             annotate=True,
             pushdown=self.pushdown,
             summary_fastpath=self.summary_fastpath,
+            streaming_join=self.streaming_join,
         )
         result = VerificationResult()
         for aqp in aqps:

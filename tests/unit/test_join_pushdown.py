@@ -1,0 +1,742 @@
+"""Tests for streaming summary-aware joins.
+
+Covers the build/probe streaming join (route equivalence down to
+bit-identical output blocks), the planner's semi-join FK pushdown pass and
+its segment-skipping contract, the join-COUNT summary fast path with its
+exact-only fallback rules, and the satellite fixes of this PR (empty
+disjunction boxes, provider dtype fallback, ``observed_rate`` semantics,
+``count_matching_offsets`` property coverage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.metadata import collect_metadata
+from repro.catalog.schema import Column, ForeignKey, Schema, Table
+from repro.catalog.types import FLOAT, INTEGER
+from repro.client.extractor import AQPExtractor
+from repro.core.pipeline import Hydra
+from repro.core.summary import (
+    DatabaseSummary,
+    FKReference,
+    RelationSummary,
+    SummaryRow,
+)
+from repro.core.tuplegen import TupleGenerator
+from repro.executor.datagen import DataGenRelation
+from repro.executor.engine import ExecutionEngine
+from repro.executor.rate import RateLimiter
+from repro.plans.logical import plan_from_dict
+from repro.plans.planner import build_plan, compute_semijoin_pushdowns
+from repro.sql.expressions import (
+    BoxCondition,
+    Comparison,
+    Interval,
+    IntervalSet,
+    Or,
+    box_semantics_exact,
+)
+from repro.sql.parser import parse_query
+from repro.storage.database import Database
+from repro.verify.comparator import VolumetricComparator
+from repro.workload.toy import FIGURE1_QUERY, ToyConfig, generate_toy_database
+
+ROUTES = {
+    "naive": dict(pushdown=False, summary_fastpath=False, streaming_join=False),
+    "materialising": dict(pushdown=True, summary_fastpath=False, streaming_join=False),
+    "streaming": dict(pushdown=True, summary_fastpath=False, streaming_join=True),
+    "fast-path": dict(pushdown=True, summary_fastpath=True, streaming_join=True),
+}
+
+JOIN_SQLS = [
+    ("figure1", FIGURE1_QUERY),
+    ("join_count", "select count(*) from R, S where R.S_fk = S.S_pk and S.A >= 10 and S.A < 30"),
+    ("join_count_unfiltered", "select count(*) from R, T where R.T_fk = T.T_pk"),
+    ("join_count_both_sides",
+     "select count(*) from R, S where R.S_fk = S.S_pk and S.A >= 10 and R.T_fk >= 5"),
+    ("join_projection", "select R_pk, A from R, S where R.S_fk = S.S_pk and S.B < 25"),
+    ("join_star", "select * from R, S where R.S_fk = S.S_pk and S.A >= 10 and S.A < 30"),
+    ("join_float_filter", "select count(*) from R, T where R.T_fk = T.T_pk and T.C >= 5"),
+]
+
+
+@pytest.fixture(scope="module")
+def client_database():
+    return generate_toy_database(ToyConfig(r_rows=4000, s_rows=400, t_rows=40, seed=5))
+
+
+@pytest.fixture(scope="module")
+def client_aqps(client_database):
+    extractor = AQPExtractor(database=client_database)
+    queries = [
+        parse_query(sql, client_database.schema, name=name) for name, sql in JOIN_SQLS
+    ]
+    return extractor.extract_workload(queries)
+
+
+@pytest.fixture(scope="module")
+def vendor_database(client_database, client_aqps):
+    hydra = Hydra(metadata=collect_metadata(client_database))
+    result = hydra.build_summary(client_aqps)
+    return hydra.regenerate(result.summary)
+
+
+def _run_route(database, aqp, **options):
+    engine = ExecutionEngine(database=database, annotate=True, **options)
+    plan = plan_from_dict(aqp.plan.to_dict())
+    plan.clear_annotations()
+    result = engine.execute(plan)
+    return result, [node.cardinality for node in plan.iter_nodes()]
+
+
+class TestJoinRouteEquivalence:
+    @pytest.mark.parametrize("db_fixture", ["client_database", "vendor_database"])
+    def test_all_routes_bit_identical(self, db_fixture, client_aqps, request):
+        database = request.getfixturevalue(db_fixture)
+        for aqp in client_aqps:
+            outcomes = {
+                name: _run_route(database, aqp, **options)
+                for name, options in ROUTES.items()
+            }
+            base_result, base_cards = outcomes["naive"]
+            for name, (result, cards) in outcomes.items():
+                assert cards == base_cards, (aqp.name, name)
+                assert result.row_count == base_result.row_count, (aqp.name, name)
+            # Routes sharing the pushdown column set must produce
+            # bit-identical blocks (values, dtypes, column and row order).
+            reference, _ = outcomes["materialising"]
+            for name in ("streaming", "fast-path"):
+                result, _ = outcomes[name]
+                assert list(result.columns) == list(reference.columns), (aqp.name, name)
+                for key in reference.columns:
+                    assert result.columns[key].dtype == reference.columns[key].dtype
+                    assert np.array_equal(result.columns[key], reference.columns[key]), (
+                        aqp.name,
+                        name,
+                        key,
+                    )
+
+    def test_streaming_join_generates_fewer_rows(self, vendor_database, client_aqps):
+        aqp = next(a for a in client_aqps if a.name == "figure1")
+        materialising, _ = _run_route(vendor_database, aqp, **ROUTES["materialising"])
+        streaming, _ = _run_route(vendor_database, aqp, **ROUTES["streaming"])
+        # The probe side streams with semi-join segment skipping: strictly
+        # fewer tuples are generated than when every leaf materialises.
+        assert streaming.scanned_rows < materialising.scanned_rows
+        assert streaming.row_count == materialising.row_count
+
+    def test_join_count_fastpath_generates_nothing(self, vendor_database, client_aqps):
+        for name in ("join_count", "join_count_unfiltered"):
+            aqp = next(a for a in client_aqps if a.name == name)
+            naive, naive_cards = _run_route(vendor_database, aqp, **ROUTES["naive"])
+            fast, fast_cards = _run_route(vendor_database, aqp, **ROUTES["fast-path"])
+            assert fast.scanned_rows == 0, name
+            assert int(fast.column("count")[0]) == int(naive.column("count")[0])
+            assert fast_cards == naive_cards
+
+    def test_verification_is_route_independent(self, vendor_database, client_aqps):
+        results = {
+            name: VolumetricComparator(database=vendor_database, **options).verify(client_aqps)
+            for name, options in ROUTES.items()
+        }
+        baseline = results["naive"].comparisons
+        for name, result in results.items():
+            assert result.comparisons == baseline, name
+
+
+class TestBuildSideChoice:
+    def test_probe_is_larger_side_by_summary_cardinality(self, vendor_database, client_aqps):
+        aqp = next(a for a in client_aqps if a.name == "join_count")
+        engine = ExecutionEngine(database=vendor_database, **ROUTES["streaming"])
+        r_before = vendor_database.provider("R").stats.rows_generated
+        s_before = vendor_database.provider("S").stats.rows_generated
+        plan = plan_from_dict(aqp.plan.to_dict())
+        plan.clear_annotations()
+        engine.execute(plan)
+        r_generated = vendor_database.provider("R").stats.rows_generated - r_before
+        s_generated = vendor_database.provider("S").stats.rows_generated - s_before
+        # S (400 rows) is the build side and is generated at most once in
+        # full; R (4000 rows) streams as the probe side.
+        assert s_generated <= vendor_database.row_count("S")
+        assert r_generated <= vendor_database.row_count("R")
+        assert r_generated > 0
+
+
+def _dataless_star():
+    dim = Table(
+        name="dim",
+        columns=[Column("dim_pk", INTEGER), Column("price", FLOAT)],
+        primary_key="dim_pk",
+    )
+    fact = Table(
+        name="fact",
+        columns=[
+            Column("fact_pk", INTEGER),
+            Column("dim_fk", INTEGER),
+            Column("qty", INTEGER),
+        ],
+        primary_key="fact_pk",
+        foreign_keys=[ForeignKey("dim_fk", "dim", "dim_pk")],
+    )
+    schema = Schema.from_tables([fact, dim])
+    summary = DatabaseSummary(schema=schema)
+    summary.add_relation(
+        RelationSummary(
+            table="dim",
+            rows=[
+                SummaryRow(count=60, values={"price": 10.0}),
+                SummaryRow(count=40, values={"price": 90.0}),
+            ],
+        )
+    )
+    summary.add_relation(
+        RelationSummary(
+            table="fact",
+            rows=[
+                SummaryRow(
+                    count=500,
+                    values={"qty": 3.0},
+                    fk_refs={"dim_fk": FKReference("dim", IntervalSet([Interval(0, 60)]))},
+                ),
+                SummaryRow(
+                    count=250,
+                    values={"qty": 8.0},
+                    fk_refs={"dim_fk": FKReference("dim", IntervalSet([Interval(60, 100)]))},
+                ),
+            ],
+        )
+    )
+    database = Database(schema=schema, providers={})
+    for name in ("dim", "fact"):
+        generator = TupleGenerator(table=schema.table(name), summary=summary.relation(name))
+        database.attach(name, DataGenRelation(source=generator))
+    return database, summary
+
+
+@pytest.fixture()
+def dataless_star():
+    return _dataless_star()
+
+
+class TestSemiJoinPushdown:
+    def test_projects_matching_pk_intervals_onto_fk_column(self, dataless_star):
+        database, summary = dataless_star
+        sql = "select count(*) from fact, dim where fact.dim_fk = dim.dim_pk and dim.price >= 50"
+        plan = build_plan(parse_query(sql, database.schema), database.schema)
+        semis = compute_semijoin_pushdowns(
+            plan, database.schema, {name: summary.relation(name) for name in ("fact", "dim")}
+        )
+        assert len(semis) == 1
+        box = next(iter(semis.values()))
+        # Only dim's second summary row (price=90, pk indices [60, 100))
+        # matches the referenced-side filter.
+        assert box.conditions["dim_fk"] == IntervalSet([Interval(60.0, 100.0)])
+
+    def test_unselective_referenced_filter_produces_no_box(self, dataless_star):
+        database, summary = dataless_star
+        sql = "select count(*) from fact, dim where fact.dim_fk = dim.dim_pk"
+        plan = build_plan(parse_query(sql, database.schema), database.schema)
+        semis = compute_semijoin_pushdowns(
+            plan, database.schema, {name: summary.relation(name) for name in ("fact", "dim")}
+        )
+        # Every referenced pk index is reachable: skipping/masking can never
+        # fire, so no box should be emitted at all.
+        assert semis == {}
+
+    def test_segment_skipping_preserves_filter_annotation(self, dataless_star):
+        database, _summary = dataless_star
+        sql = (
+            "select count(*) from fact, dim "
+            "where fact.dim_fk = dim.dim_pk and dim.price >= 50 and fact.qty >= 2"
+        )
+        plan = build_plan(parse_query(sql, database.schema), database.schema)
+        naive_engine = ExecutionEngine(database=database, **ROUTES["naive"])
+        naive_plan = plan_from_dict(plan.to_dict())
+        naive = naive_engine.execute(naive_plan)
+
+        engine = ExecutionEngine(database=database, **ROUTES["streaming"])
+        provider = database.provider("fact")
+        before = provider.stats.rows_generated
+        streaming_plan = plan_from_dict(plan.to_dict())
+        streaming = engine.execute(streaming_plan)
+        generated = provider.stats.rows_generated - before
+        # Fact's first summary row (refs [0, 60)) cannot reach the surviving
+        # dim pks [60, 100): its 500 tuples are never generated, yet the
+        # fact filter annotation still counts them exactly.
+        assert generated == 250
+        assert [n.cardinality for n in streaming_plan.iter_nodes()] == [
+            n.cardinality for n in naive_plan.iter_nodes()
+        ]
+        assert int(streaming.column("count")[0]) == int(naive.column("count")[0])
+
+    def test_inexact_probe_predicate_masks_instead_of_skipping(self, dataless_star):
+        # qty <= 2.5 on a discrete column is not box-exact: the probe falls
+        # back to predicate masking (no segment skipping) while the semi-join
+        # box still masks rows with no partner — all routes must agree.
+        database, _summary = dataless_star
+        sql = (
+            "select count(*) from fact, dim "
+            "where fact.dim_fk = dim.dim_pk and dim.price >= 50 and fact.qty <= 2.5"
+        )
+        plan = build_plan(parse_query(sql, database.schema), database.schema)
+        outcomes = []
+        for options in ROUTES.values():
+            engine = ExecutionEngine(database=database, **options)
+            cloned = plan_from_dict(plan.to_dict())
+            result = engine.execute(cloned)
+            outcomes.append(
+                (int(result.column("count")[0]), [n.cardinality for n in cloned.iter_nodes()])
+            )
+        assert all(outcome == outcomes[0] for outcome in outcomes)
+
+    def test_skip_box_yields_exact_counts_without_generation(self, dataless_star):
+        database, _summary = dataless_star
+        generator = database.provider("fact").source
+        skip = BoxCondition({"dim_fk": IntervalSet([Interval(60.0, 100.0)])})
+        own = BoxCondition({"qty": IntervalSet([Interval(0.0, 5.0)])})
+        blocks = list(
+            generator.iter_filtered_blocks(own, batch_size=1000, columns=["dim_fk"], skip_box=skip)
+        )
+        # First fact segment: skipped (refs [0,60) unreachable) but counted
+        # in full because qty=3 passes the scan's own box for all 500 tuples.
+        assert blocks[0] == (0, 0, 500, {})
+        # Second segment (qty=8 fails the own box) is excluded outright.
+        assert len(blocks) == 1
+
+
+class TestJoinCountFastPath:
+    def _counts(self, database, sql):
+        plan = build_plan(parse_query(sql, database.schema), database.schema)
+        outcomes = {}
+        for name in ("naive", "fast-path"):
+            engine = ExecutionEngine(database=database, **ROUTES[name])
+            cloned = plan_from_dict(plan.to_dict())
+            cloned.clear_annotations()
+            result = engine.execute(cloned)
+            outcomes[name] = (
+                int(result.column("count")[0]),
+                [node.cardinality for node in cloned.iter_nodes()],
+                result.scanned_rows,
+            )
+        return outcomes
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select count(*) from fact, dim where fact.dim_fk = dim.dim_pk",
+            "select count(*) from fact, dim where fact.dim_fk = dim.dim_pk and dim.price >= 50",
+            "select count(*) from fact, dim where fact.dim_fk = dim.dim_pk and fact.qty >= 5",
+            "select count(*) from fact, dim "
+            "where fact.dim_fk = dim.dim_pk and fact.dim_fk >= 20 and fact.dim_fk < 80",
+            "select count(*) from fact, dim "
+            "where fact.dim_fk = dim.dim_pk and fact.fact_pk >= 100 and fact.fact_pk < 600",
+            "select count(*) from fact, dim "
+            "where fact.dim_fk = dim.dim_pk and dim.price >= 50 and fact.qty < 5",
+            "select count(*) from fact, dim "
+            "where fact.dim_fk = dim.dim_pk and dim.dim_pk >= 30 and dim.dim_pk < 70",
+        ],
+    )
+    def test_exact_cases_generate_nothing(self, dataless_star, sql):
+        database, _summary = dataless_star
+        outcomes = self._counts(database, sql)
+        assert outcomes["fast-path"][0] == outcomes["naive"][0], sql
+        assert outcomes["fast-path"][1] == outcomes["naive"][1], sql
+        assert outcomes["fast-path"][2] == 0, sql
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # pk and join-fk constraints both partial on the same summary
+            # row: correlated through the tuple offset.
+            "select count(*) from fact, dim "
+            "where fact.dim_fk = dim.dim_pk and fact.fact_pk >= 100 and fact.fact_pk < 300 "
+            "and fact.dim_fk >= 10 and fact.dim_fk < 30",
+            # Epsilon-approximated float comparison on the referenced side.
+            "select count(*) from fact, dim where fact.dim_fk = dim.dim_pk and dim.price = 90",
+        ],
+    )
+    def test_inexact_cases_fall_back_but_stay_exact(self, dataless_star, sql):
+        database, _summary = dataless_star
+        outcomes = self._counts(database, sql)
+        assert outcomes["fast-path"][0] == outcomes["naive"][0], sql
+        assert outcomes["fast-path"][1] == outcomes["naive"][1], sql
+        assert outcomes["fast-path"][2] > 0, sql  # it really streamed
+
+    def test_constant_fk_summary_row(self):
+        dim = Table(
+            name="dim",
+            columns=[Column("dim_pk", INTEGER), Column("price", FLOAT)],
+            primary_key="dim_pk",
+        )
+        fact = Table(
+            name="fact",
+            columns=[Column("fact_pk", INTEGER), Column("dim_fk", INTEGER)],
+            primary_key="fact_pk",
+            foreign_keys=[ForeignKey("dim_fk", "dim", "dim_pk")],
+        )
+        schema = Schema.from_tables([fact, dim])
+        summary = DatabaseSummary(schema=schema)
+        summary.add_relation(
+            RelationSummary(table="dim", rows=[SummaryRow(count=10, values={"price": 5.0})])
+        )
+        # A summary row without an FKReference generates its FK column as a
+        # constant representative value.
+        summary.add_relation(
+            RelationSummary(table="fact", rows=[SummaryRow(count=7, values={"dim_fk": 3.0})])
+        )
+        database = Database(schema=schema, providers={})
+        for name in ("dim", "fact"):
+            generator = TupleGenerator(table=schema.table(name), summary=summary.relation(name))
+            database.attach(name, DataGenRelation(source=generator))
+        outcomes = {}
+        sql = "select count(*) from fact, dim where fact.dim_fk = dim.dim_pk and dim.price < 6"
+        plan = build_plan(parse_query(sql, schema), schema)
+        for name in ("naive", "fast-path"):
+            engine = ExecutionEngine(database=database, **ROUTES[name])
+            result = engine.execute(plan_from_dict(plan.to_dict()))
+            outcomes[name] = (int(result.column("count")[0]), result.scanned_rows)
+        assert outcomes["fast-path"][0] == outcomes["naive"][0] == 7
+        assert outcomes["fast-path"][1] == 0
+
+    def test_chained_reference_falls_back_when_referenced_side_scattered(self):
+        # c -> b -> a: the referenced side b is filtered on *its own* FK
+        # column, which matches some b summary rows only partially — the
+        # matching b pks are round-robin-scattered, so no exact pk interval
+        # projection exists and the fast path must fall back.
+        a = Table(name="a", columns=[Column("a_pk", INTEGER)], primary_key="a_pk")
+        b = Table(
+            name="b",
+            columns=[Column("b_pk", INTEGER), Column("a_fk", INTEGER)],
+            primary_key="b_pk",
+            foreign_keys=[ForeignKey("a_fk", "a", "a_pk")],
+        )
+        c = Table(
+            name="c",
+            columns=[Column("c_pk", INTEGER), Column("b_fk", INTEGER)],
+            primary_key="c_pk",
+            foreign_keys=[ForeignKey("b_fk", "b", "b_pk")],
+        )
+        schema = Schema.from_tables([c, b, a])
+        summary = DatabaseSummary(schema=schema)
+        summary.add_relation(RelationSummary(table="a", rows=[SummaryRow(count=10)]))
+        summary.add_relation(
+            RelationSummary(
+                table="b",
+                rows=[
+                    SummaryRow(
+                        count=9,
+                        fk_refs={"a_fk": FKReference("a", IntervalSet([Interval(0, 10)]))},
+                    )
+                ],
+            )
+        )
+        summary.add_relation(
+            RelationSummary(
+                table="c",
+                rows=[
+                    SummaryRow(
+                        count=20,
+                        fk_refs={"b_fk": FKReference("b", IntervalSet([Interval(0, 9)]))},
+                    )
+                ],
+            )
+        )
+        database = Database(schema=schema, providers={})
+        for name in ("a", "b", "c"):
+            generator = TupleGenerator(table=schema.table(name), summary=summary.relation(name))
+            database.attach(name, DataGenRelation(source=generator))
+        sql = "select count(*) from c, b where c.b_fk = b.b_pk and b.a_fk >= 3 and b.a_fk < 6"
+        plan = build_plan(parse_query(sql, schema), schema)
+        outcomes = {}
+        for name in ("naive", "fast-path"):
+            engine = ExecutionEngine(database=database, **ROUTES[name])
+            result = engine.execute(plan_from_dict(plan.to_dict()))
+            outcomes[name] = (int(result.column("count")[0]), result.scanned_rows)
+        assert outcomes["fast-path"][0] == outcomes["naive"][0]
+        assert outcomes["fast-path"][1] > 0  # fell back to streaming
+
+
+class TestMatchingPkIntervals:
+    def test_value_and_pk_constraints(self):
+        summary = RelationSummary(
+            table="dim",
+            rows=[
+                SummaryRow(count=10, values={"price": 5.0}),
+                SummaryRow(count=20, values={"price": 9.0}),
+            ],
+        )
+        box = BoxCondition({"price": IntervalSet([Interval(4.0, 6.0)])})
+        assert summary.matching_pk_intervals(box, pk_column="dim_pk") == IntervalSet(
+            [Interval(0.0, 10.0)]
+        )
+        pk_box = BoxCondition({"dim_pk": IntervalSet([Interval(5.0, 25.0)])})
+        assert summary.matching_pk_intervals(pk_box, pk_column="dim_pk") == IntervalSet(
+            [Interval(5.0, 25.0)]
+        )
+        assert summary.matching_pk_intervals(BoxCondition.never(), pk_column="dim_pk") == (
+            IntervalSet.empty()
+        )
+
+    def test_fk_partial_superset_vs_exact(self):
+        summary = RelationSummary(
+            table="fact",
+            rows=[
+                SummaryRow(
+                    count=10,
+                    fk_refs={"dim_fk": FKReference("dim", IntervalSet([Interval(0, 4)]))},
+                )
+            ],
+        )
+        box = BoxCondition({"dim_fk": IntervalSet([Interval(1.0, 3.0)])})
+        superset = summary.matching_pk_intervals(box, pk_column="fact_pk")
+        assert superset == IntervalSet([Interval(0.0, 10.0)])
+        assert summary.matching_pk_intervals(box, pk_column="fact_pk", exact=True) is None
+
+
+class TestEmptyDisjunctionBox(object):
+    def test_empty_or_normalises_to_unsatisfiable_box(self):
+        box = Or(()).to_box()
+        assert box.is_empty
+        assert not box.satisfiable
+        assert not box.is_unconstrained
+        values = {"x": np.arange(4, dtype=np.float64)}
+        assert not box.evaluate(values).any()
+        assert bool(Or(()).evaluate(values).any()) == bool(box.evaluate(values).any())
+
+    def test_nested_and_column_free_disjunctions(self):
+        assert Or((Or(()),)).to_box().is_empty
+        from repro.sql.expressions import TruePredicate
+
+        assert not Or((TruePredicate(),)).to_box().is_empty
+
+    def test_unsatisfiable_disjunct_does_not_widen_the_union(self):
+        # An unsatisfiable child carries no per-column condition; naively
+        # asking it for one yields the unconstrained interval set, flipping
+        # the whole disjunction to match-all on the exact-box routes.
+        predicate = Or((Or(()), Comparison("x", "<", 5.0)))
+        assert box_semantics_exact(predicate, {"x": True})
+        box = predicate.to_box({"x": True})
+        values = {"x": np.asarray([1.0, 7.0])}
+        assert box.evaluate(values).tolist() == predicate.evaluate(values).tolist()
+        assert box.conditions["x"] == IntervalSet([Interval(float("-inf"), 5.0)])
+        # All-unsatisfiable children on a referenced column stay all-false.
+        from repro.sql.expressions import And
+
+        contradiction = And((Comparison("x", "<", 1.0), Comparison("x", ">=", 5.0)))
+        assert Or((contradiction,)).to_box({"x": True}).is_empty
+
+    def test_unsatisfiable_box_round_trips(self):
+        box = BoxCondition.never()
+        assert BoxCondition.from_dict(box.to_dict()) == box
+        assert box.to_predicate().evaluate({"x": np.arange(3, dtype=np.float64)}).sum() == 0
+        assert box.intersect(BoxCondition({"x": IntervalSet.everything()})).is_empty
+        assert not box.contains_point({"x": 1.0})
+
+    def test_not_of_unsatisfiable_child_is_match_all(self):
+        # NOT(x < 5 AND <empty disjunction>) evaluates all-true; complementing
+        # the child's per-column intervals while ignoring the satisfiable
+        # flag would yield x >= 5 instead.
+        from repro.sql.expressions import And, Not
+
+        predicate = Not(And((Comparison("x", "<", 5.0), Or(()))))
+        assert box_semantics_exact(predicate, {"x": True})
+        box = predicate.to_box({"x": True})
+        values = {"x": np.asarray([1.0, 6.0])}
+        assert box.evaluate(values).tolist() == predicate.evaluate(values).tolist() == [True, True]
+        assert box.is_unconstrained
+
+    def test_region_partitioning_treats_falsum_as_empty(self):
+        from repro.core.grid import _cell_inside
+        from repro.core.regions import (
+            Region,
+            RegionPartitioner,
+            box_difference,
+            box_is_empty,
+        )
+
+        never = BoxCondition.never()
+        assert box_is_empty(never)
+        domain = BoxCondition({"x": IntervalSet([Interval(0.0, 10.0)])})
+        region = Region(index=0, signature=frozenset(), boxes=(domain,))
+        assert not region.contained_in(never)
+        assert not region.overlaps(never)
+        assert not _cell_inside(domain, never)
+        # Subtracting the falsum removes nothing — the region must survive.
+        assert box_difference(domain, never) == [domain]
+        assert box_difference(never, domain) == []
+        # An all-false predicate box partitions the domain into one region
+        # that satisfies nothing, instead of dropping or blanket-matching it.
+        partitioner = RegionPartitioner(discrete={"x": True}, domain=domain)
+        regions = partitioner.partition([never])
+        assert len(regions) == 1
+        assert regions[0].signature == frozenset()
+
+    def test_empty_or_is_box_exact_and_counts_zero(self):
+        assert box_semantics_exact(Or(()), {"qty": True})
+        summary = RelationSummary(table="t", rows=[SummaryRow(count=5)])
+        assert summary.count_matching(Or(()).to_box(), pk_column="t_pk") == 0
+        assert summary.row_excluded(0, Or(()).to_box(), pk_column="t_pk")
+
+    def test_engine_routes_agree_on_empty_disjunction(self, dataless_star):
+        database, _summary = dataless_star
+        from repro.plans.logical import AggregateNode, FilterNode, ScanNode
+
+        plan = AggregateNode(
+            child=FilterNode(child=ScanNode(table="fact"), table="fact", predicate=Or(()))
+        )
+        counts = []
+        for options in ROUTES.values():
+            engine = ExecutionEngine(database=database, **options)
+            cloned = plan_from_dict(plan.to_dict())
+            result = engine.execute(cloned)
+            counts.append(
+                (int(result.column("count")[0]), [n.cardinality for n in cloned.iter_nodes()])
+            )
+        assert all(count == counts[0] for count in counts)
+        assert counts[0][0] == 0
+
+
+class _RowOnlyProvider:
+    """A provider exposing nothing but the minimal row protocol."""
+
+    def __init__(self, rows):
+        self._rows = rows
+
+    @property
+    def row_count(self):
+        return len(self._rows)
+
+    @property
+    def column_names(self):
+        return ["pk", "v"]
+
+    def row(self, index):
+        return self._rows[index]
+
+
+class TestProviderColumnDtypes:
+    def test_row_fallback_uses_schema_dtypes(self):
+        table = Table(
+            name="tiny",
+            columns=[Column("pk", INTEGER), Column("v", FLOAT)],
+            primary_key="pk",
+        )
+        schema = Schema.from_tables([table])
+        database = Database(schema=schema, providers={})
+        database.attach("tiny", _RowOnlyProvider([(0, 1.5), (1, 2.5), (2, 3.5)]))
+        engine = ExecutionEngine(database=database)
+        plan = build_plan(parse_query("select * from tiny", schema), schema)
+        result = engine.execute(plan)
+        assert result.columns["tiny.pk"].dtype == np.int64
+        assert result.columns["tiny.v"].dtype == np.float64
+        assert result.columns["tiny.pk"].tolist() == [0, 1, 2]
+
+    def test_row_fallback_join_key_dtype_survives_join(self):
+        dim = Table(name="dim", columns=[Column("d_pk", INTEGER)], primary_key="d_pk")
+        fact = Table(
+            name="fact",
+            columns=[Column("f_pk", INTEGER), Column("d_fk", INTEGER)],
+            primary_key="f_pk",
+            foreign_keys=[ForeignKey("d_fk", "dim", "d_pk")],
+        )
+        schema = Schema.from_tables([fact, dim])
+
+        class _Rows(_RowOnlyProvider):
+            def __init__(self, rows, names):
+                super().__init__(rows)
+                self._names = names
+
+            @property
+            def column_names(self):
+                return self._names
+
+        database = Database(schema=schema, providers={})
+        database.attach("fact", _Rows([(0, 1), (1, 0), (2, 1)], ["f_pk", "d_fk"]))
+        database.attach("dim", _Rows([(0,), (1,)], ["d_pk"]))
+        engine = ExecutionEngine(database=database)
+        plan = build_plan(
+            parse_query(
+                "select count(*) from fact, dim where fact.d_fk = dim.d_pk", schema
+            ),
+            schema,
+        )
+        result = engine.execute(plan)
+        assert int(result.column("count")[0]) == 3
+
+
+class TestObservedRate:
+    def test_zero_before_first_throttle(self):
+        limiter, _clock = RateLimiter.with_virtual_clock(None)
+        assert limiter.observed_rate() == 0.0
+
+    def test_inf_when_no_time_elapsed(self):
+        limiter, _clock = RateLimiter.with_virtual_clock(None)
+        limiter.throttle(0)
+        assert limiter.observed_rate() == float("inf")
+        limiter.throttle(100)
+        assert limiter.observed_rate() == float("inf")
+
+    def test_rate_after_time_elapses(self):
+        limiter, clock = RateLimiter.with_virtual_clock(None)
+        limiter.throttle(100)
+        clock.advance(2.0)
+        assert limiter.observed_rate() == pytest.approx(50.0)
+        limiter.throttle(100)
+        assert limiter.observed_rate() == pytest.approx(100.0)
+
+    def test_throttled_stream_converges_to_target_rate(self):
+        limiter, clock = RateLimiter.with_virtual_clock(1000.0)
+        for _ in range(10):
+            limiter.throttle(500)
+        assert limiter.observed_rate() == pytest.approx(1000.0)
+        del clock
+
+
+_intervals = st.lists(
+    st.tuples(st.integers(-30, 300), st.integers(1, 40)), min_size=1, max_size=4
+).map(lambda pairs: IntervalSet([Interval(low, low + width) for low, width in pairs]))
+
+
+class TestCountMatchingOffsetsProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ref_intervals=st.lists(
+            st.tuples(st.integers(0, 200), st.integers(1, 25)), min_size=1, max_size=4
+        ),
+        allowed=_intervals,
+        num_offsets=st.integers(0, 400),
+    )
+    def test_matches_brute_force_enumeration(self, ref_intervals, allowed, num_offsets):
+        # Build non-overlapping reference intervals by stacking the widths.
+        pieces = []
+        cursor = 0
+        for gap, width in ref_intervals:
+            low = cursor + gap
+            pieces.append(Interval(low, low + width))
+            cursor = low + width + 1
+        ref = FKReference("dim", IntervalSet(pieces))
+        expected = 0
+        if num_offsets:
+            targets = ref.targets_for(np.arange(num_offsets, dtype=np.int64))
+            expected = int(allowed.membership_mask(targets.astype(np.float64)).sum())
+        assert ref.count_matching_offsets(num_offsets, allowed) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        num_offsets=st.integers(0, 120),
+        cut=st.integers(-5, 40),
+    )
+    def test_remainder_straddling_piece_boundaries(self, num_offsets, cut):
+        # Two pieces of sizes 7 and 13; the allowed set straddles the
+        # boundary between them so remainders exercise both prefix shapes.
+        ref = FKReference("dim", IntervalSet([Interval(0, 7), Interval(50, 63)]))
+        allowed = IntervalSet([Interval(float(cut), float(cut + 15))])
+        expected = 0
+        if num_offsets:
+            targets = ref.targets_for(np.arange(num_offsets, dtype=np.int64))
+            expected = int(allowed.membership_mask(targets.astype(np.float64)).sum())
+        assert ref.count_matching_offsets(num_offsets, allowed) == expected
