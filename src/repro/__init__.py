@@ -43,7 +43,14 @@ from .core import (
     check_feasibility,
     grid_variable_count,
 )
-from .executor import DataGenRelation, ExecutionEngine, RateLimiter, VirtualClock
+from .executor import (
+    DataGenRelation,
+    ExecutionEngine,
+    ParallelDataGenRelation,
+    RateLimiter,
+    VirtualClock,
+)
+from .parallel import Shard, ShardPlan, default_workers
 from .plans import AnnotatedQueryPlan, build_plan
 from .sql import Query, parse_query
 from .storage import Database, TableData
@@ -76,11 +83,14 @@ __all__ = [
     "HydraBuildResult",
     "InfeasibleConstraintsError",
     "InformationPackage",
+    "ParallelDataGenRelation",
     "QualityReport",
     "Query",
     "RateLimiter",
     "Scenario",
     "Schema",
+    "Shard",
+    "ShardPlan",
     "SummaryBuildReport",
     "TPCDSConfig",
     "TPCHConfig",
@@ -96,6 +106,7 @@ __all__ = [
     "build_scenario",
     "check_feasibility",
     "collect_metadata",
+    "default_workers",
     "extract_aqps",
     "generate_toy_database",
     "generate_tpcds_database",

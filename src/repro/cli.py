@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
 from .client.anonymizer import Anonymizer
 from .client.extractor import AQPExtractor
 from .client.package import InformationPackage
+from .core.errors import HydraError
 from .core.pipeline import Hydra
 from .core.summary import DatabaseSummary
 from .core.tuplegen import SummaryDatabaseFactory
@@ -116,8 +118,30 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--alignment", default="deterministic", choices=["deterministic", "sampling"]
     )
+    parser.add_argument(
+        "--materialize", type=str, default=None, metavar="REL[,REL...]",
+        help="after the build, eagerly regenerate these relations and report "
+        "tuple throughput (a smoke test of the summary's generation speed)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the --materialize regeneration "
+        "(default: REPRO_WORKERS or serial; output is bit-identical)",
+    )
     parser.add_argument("--output", type=Path, default=Path("summary.json"))
     args = parser.parse_args(argv)
+    names: list[str] = []
+    if args.materialize is not None:
+        seen = set()
+        for name in args.materialize.split(","):
+            name = name.strip()
+            if name and name not in seen:
+                seen.add(name)
+                names.append(name)
+        if not names:
+            parser.error("--materialize needs at least one relation name")
+    if args.workers is not None and not names:
+        parser.error("--workers only applies to the --materialize regeneration")
 
     package = InformationPackage.load(args.package)
     hydra = Hydra(metadata=package.metadata, mode=args.mode, alignment=args.alignment)
@@ -128,6 +152,23 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
     print()
     print(format_summary_table(result.summary))
     print(f"wrote {args.output}")
+
+    if names:
+        try:
+            start = time.perf_counter()
+            database = hydra.regenerate(
+                result.summary, materialize=names, workers=args.workers
+            )
+            elapsed = time.perf_counter() - start
+        except HydraError as exc:
+            raise SystemExit(str(exc))
+        rows = sum(database.row_count(name) for name in names)
+        rate = rows / elapsed if elapsed > 0 else float("inf")
+        workers = args.workers if args.workers is not None else "REPRO_WORKERS/serial"
+        print(
+            f"materialized {', '.join(names)}: {rows:,} rows in {elapsed:.3f}s "
+            f"({rate:,.0f} rows/s, workers={workers})"
+        )
     return 0
 
 
@@ -153,6 +194,12 @@ def verify_main(argv: Sequence[str] | None = None) -> int:
         "--sample", type=str, default=None,
         help="also print sample tuples of the given relation",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="regenerate each relation across N worker processes "
+        "(default: REPRO_WORKERS or serial; output is bit-identical, rate "
+        "limits pace the merged stream)",
+    )
     args = parser.parse_args(argv)
 
     package = InformationPackage.load(args.package)
@@ -164,7 +211,10 @@ def verify_main(argv: Sequence[str] | None = None) -> int:
         else RateLimiter.unlimited()
     )
     database = hydra.regenerate(
-        summary, rate_limiter=limiter, shared_rate_limiter=args.shared_rate_limit
+        summary,
+        rate_limiter=limiter,
+        shared_rate_limiter=args.shared_rate_limit,
+        workers=args.workers,
     )
     result = VolumetricComparator(database=database).verify(package.aqps)
     print(format_error_cdf(result))

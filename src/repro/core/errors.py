@@ -9,6 +9,7 @@ __all__ = [
     "SolverError",
     "InfeasibleConstraintsError",
     "SummaryError",
+    "ParallelGenerationError",
 ]
 
 
@@ -47,3 +48,11 @@ class InfeasibleConstraintsError(HydraError):
 
 class SummaryError(HydraError):
     """The database summary is malformed or inconsistent with its schema."""
+
+
+class ParallelGenerationError(HydraError):
+    """Sharded parallel regeneration failed (a worker process died or raised).
+
+    Carries the failing worker's shard and traceback text so the parent
+    process can report the root cause without sharing memory with workers.
+    """

@@ -29,14 +29,15 @@ import numpy as np
 
 from ..catalog.metadata import DatabaseMetadata
 from ..catalog.schema import Table
-from ..executor.datagen import DataGenRelation
+from ..executor.datagen import DataGenRelation, ParallelDataGenRelation
 from ..executor.rate import RateLimiter
+from ..parallel.pool import default_min_parallel_rows, default_workers
 from ..plans.aqp import AnnotatedQueryPlan
 from ..sql.expressions import BoxCondition, Interval, IntervalSet
 from ..storage.database import Database, MaterializedRelation
 from .alignment import AlignedRelation, DeterministicAligner
 from .constraints import CardinalityConstraint, SymbolicPredicate
-from .errors import InfeasibleConstraintsError
+from .errors import HydraError, InfeasibleConstraintsError
 from .grid import grid_variable_count
 from .lp import build_lp
 from .preprocessor import WorkloadConstraints, decompose_workload
@@ -207,23 +208,59 @@ class Hydra:
         materialize: Iterable[str] = (),
         batch_size: int = 8192,
         shared_rate_limiter: bool = False,
+        workers: int | None = None,
+        min_parallel_rows: int | None = None,
     ) -> Database:
         """Create a (mostly dataless) database from a summary.
 
         Relations listed in ``materialize`` are materialised eagerly through
         their tuple generator; all others are attached as ``datagen``
         relations that regenerate rows on demand during query execution.
+        Names that are not relations of ``summary`` raise
+        :class:`~repro.core.errors.HydraError` (listing every bad name)
+        instead of being silently ignored.
+
+        ``workers`` > 1 attaches
+        :class:`~repro.executor.datagen.ParallelDataGenRelation` providers
+        that regenerate blocks across that many worker processes per
+        relation — bit-identical output, higher tuple throughput.  ``None``
+        (the default) consults the ``REPRO_WORKERS`` environment variable
+        (:func:`~repro.parallel.pool.default_workers`), so an existing
+        deployment can be switched to parallel regeneration without a code
+        change.  ``min_parallel_rows`` keeps relations below that size on
+        the serial in-process path; ``None`` picks the platform default
+        (:func:`~repro.parallel.pool.default_min_parallel_rows`: 0 where
+        ``fork`` is available, a few batches per worker on spawn-only
+        platforms where per-scan process startup is expensive).
 
         ``rate_limiter`` provides the velocity configuration.  By default
         every relation gets its own fresh :meth:`~RateLimiter.clone` so each
         stream is paced independently (relation B is not slowed down as if
-        relation A's rows counted against its budget).  Pass
+        relation A's rows counted against its budget); this holds for any
+        ``workers`` value because a parallel relation throttles its *merged*
+        stream in the consuming process, never inside workers.  Pass
         ``shared_rate_limiter=True`` for an explicit global-budget mode where
-        all relations draw from the single caller-supplied limiter.
+        all relations draw from the single caller-supplied limiter — with
+        ``workers`` > 1 that budget likewise paces the merged streams, not
+        each worker separately.
         """
+        materialize_set = set(materialize)
+        unknown = sorted(materialize_set - set(summary.relations))
+        if unknown:
+            raise HydraError(
+                "cannot materialize unknown relation(s) "
+                + ", ".join(repr(name) for name in unknown)
+                + "; summary has: "
+                + ", ".join(repr(name) for name in sorted(summary.relations))
+            )
+        resolved_workers = default_workers() if workers is None else max(1, int(workers))
+        resolved_min_rows = (
+            default_min_parallel_rows(batch_size, resolved_workers)
+            if min_parallel_rows is None
+            else max(0, int(min_parallel_rows))
+        )
         factory = SummaryDatabaseFactory(summary=summary)
         database = Database(schema=summary.schema, providers={})
-        materialize_set = set(materialize)
         for table_name in summary.relations:
             generator = factory.generator(table_name)
             if rate_limiter is None:
@@ -232,11 +269,20 @@ class Hydra:
                 limiter = rate_limiter
             else:
                 limiter = rate_limiter.clone()
-            relation = DataGenRelation(
-                source=generator,
-                rate_limiter=limiter,
-                batch_size=batch_size,
-            )
+            if resolved_workers > 1:
+                relation: DataGenRelation = ParallelDataGenRelation(
+                    source=generator,
+                    rate_limiter=limiter,
+                    batch_size=batch_size,
+                    workers=resolved_workers,
+                    min_parallel_rows=resolved_min_rows,
+                )
+            else:
+                relation = DataGenRelation(
+                    source=generator,
+                    rate_limiter=limiter,
+                    batch_size=batch_size,
+                )
             if table_name in materialize_set:
                 table = summary.schema.table(table_name)
                 database.attach(table_name, MaterializedRelation(relation.materialize(table)))

@@ -29,7 +29,21 @@ from ..sql.expressions import BoxCondition, columns_with_dependencies
 from .errors import SummaryError
 from .summary import DatabaseSummary, RelationSummary
 
-__all__ = ["TupleGenerator", "SummaryDatabaseFactory"]
+__all__ = ["TupleGenerator", "SummaryDatabaseFactory", "first_owned_batch_start"]
+
+
+def first_owned_batch_start(segment_start: int, lo: int, batch_size: int) -> int:
+    """First segment-anchored batch start at or after ``lo``.
+
+    Batches of a summary segment are anchored at ``segment_start`` and a
+    batch is *owned* by the shard window containing its start.  This single
+    rule is shared by the serial iterator's ``offsets`` window and the shard
+    planner's work estimates (:mod:`repro.parallel.sharding`) so the two can
+    never drift apart.
+    """
+    if lo <= segment_start:
+        return segment_start
+    return segment_start + ((lo - segment_start + batch_size - 1) // batch_size) * batch_size
 
 
 @dataclass
@@ -136,6 +150,7 @@ class TupleGenerator:
         batch_size: int = 8192,
         columns: Sequence[str] | None = None,
         skip_box: BoxCondition | None = None,
+        offsets: tuple[int, int] | None = None,
     ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
         """Stream ``(start, generated, matched, block)`` with only matching rows.
 
@@ -156,14 +171,37 @@ class TupleGenerator:
         ``box`` (:meth:`RelationSummary.count_matching_row`); when that count
         is not exactly computable the segment is generated normally so the
         consumer can mask it itself.
+
+        ``offsets`` restricts the stream to the shard ``[lo, hi)`` of the pk
+        offset space: exactly the yields of the unrestricted stream whose
+        ``start`` lies in the shard are produced — batch boundaries stay
+        anchored at segment starts, and a batch owned by the shard is
+        generated in full even when it extends past ``hi``.  Concatenating
+        the streams of any contiguous partition of ``[0, row_count)`` in
+        shard order is therefore yield-for-yield identical to the serial
+        stream, which is the contract ``repro.parallel`` workers rely on.
         """
         requested = list(columns) if columns is not None else self.column_names
         needed = columns_with_dependencies(requested, box.conditions)
         pk = self.table.primary_key
-        for position in range(len(self.summary.rows)):
+        lo, hi = offsets if offsets is not None else (0, self.row_count)
+        first_position = 0
+        if lo > 0:
+            # Fast-forward to the first segment that can own a yield: every
+            # earlier segment ends at or before ``lo``.  Keeps a shard window
+            # O(#covered segments), not O(#summary rows).
+            cumulative = self.summary.cumulative_offsets
+            first_position = max(
+                0, int(np.searchsorted(cumulative, lo, side="right")) - 1
+            )
+        for position in range(first_position, len(self.summary.rows)):
             segment_start, segment_end = self.summary.pk_interval_of_row(position)
             if segment_end <= segment_start:
                 continue
+            if segment_start >= hi:
+                break  # segments are ordered: no later yield can start < hi
+            if segment_end <= lo:
+                continue  # every yield of this segment starts before lo
             if self.summary.row_excluded(position, box, pk_column=pk):
                 continue
             if skip_box is not None and self.summary.row_excluded(
@@ -171,11 +209,12 @@ class TupleGenerator:
             ):
                 matched = self.summary.count_matching_row(position, box, pk_column=pk)
                 if matched is not None:
-                    if matched:
+                    if matched and segment_start >= lo:
                         yield segment_start, 0, matched, {}
                     continue
-            cursor = segment_start
-            while cursor < segment_end:
+            # First batch whose (segment-anchored) start falls in the shard.
+            cursor = first_owned_batch_start(segment_start, lo, batch_size)
+            while cursor < segment_end and cursor < hi:
                 take = min(batch_size, segment_end - cursor)
                 block = self.generate_block(cursor, take, needed)
                 if box.conditions:

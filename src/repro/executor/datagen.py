@@ -18,15 +18,15 @@ from typing import TYPE_CHECKING, Iterator, Protocol, Sequence, runtime_checkabl
 
 import numpy as np
 
+from ..sql.expressions import BoxCondition, columns_with_dependencies
 from ..storage.table import TableData
 from .rate import RateLimiter
 
-from ..sql.expressions import columns_with_dependencies
-
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..sql.expressions import BoxCondition, Predicate
+    from ..core.tuplegen import TupleGenerator
+    from ..sql.expressions import Predicate
 
-__all__ = ["RowSource", "DataGenRelation", "GenerationStats"]
+__all__ = ["RowSource", "DataGenRelation", "ParallelDataGenRelation", "GenerationStats"]
 
 
 @runtime_checkable
@@ -204,3 +204,150 @@ class DataGenRelation:
         """
         columns = self.fetch_columns(table.column_names)
         return TableData.from_columns(table, columns)
+
+
+@dataclass
+class ParallelDataGenRelation(DataGenRelation):
+    """A ``datagen`` relation that regenerates tuples across worker processes.
+
+    Wherever the serial relation would stream blocks from its
+    :class:`~repro.core.tuplegen.TupleGenerator`, this subclass instead
+    builds a :class:`~repro.parallel.sharding.ShardPlan` over the summary —
+    balanced by the tuples each shard will actually generate under the
+    pushed-down ``box``/``skip_box`` — and consumes the ordered merge of the
+    per-shard worker streams (:func:`~repro.parallel.pool.iter_parallel_blocks`).
+    A merged *filtered* stream is yield-for-yield bit-identical to the
+    serial one; the unfiltered :meth:`iter_blocks` route delivers identical
+    rows in identical order but with segment-anchored block boundaries
+    (``stats.batches`` may exceed serial's ``ceil(total/batch)``).  Every
+    consumer (engine streaming scans, streaming joins, materialisation)
+    works unchanged; only tuple throughput differs.
+
+    Each iteration builds a fresh plan and worker set, torn down when the
+    stream ends — cheap under the preferred ``fork`` start method, but a
+    per-scan interpreter startup cost under ``spawn``.  ``min_parallel_rows``
+    keeps small relations on the serial in-process path.
+
+    Stats and rate limiting happen here in the consuming process, on the
+    merged stream: with the relation's own limiter the relation is paced as
+    one stream regardless of ``workers``; with a shared limiter
+    (``Hydra.regenerate(shared_rate_limiter=True)``) all relations draw from
+    one global budget, again measured on merged output.  Workers never sleep
+    — backpressure from the bounded queues is what holds them back, so up to
+    ``workers × queue_blocks`` batches may be generated ahead of the paced
+    stream.
+
+    Falls back to the serial path when ``workers <= 1``, when the row source
+    is not a summary-backed :class:`TupleGenerator`, or when the relation is
+    smaller than ``min_parallel_rows``.  When only a ``predicate`` (no box)
+    is given, the predicate *mask* is applied in the consuming process, but
+    the underlying block generation still fans out through the parallel
+    :meth:`iter_blocks` — so block starts are segment-anchored there too.
+    """
+
+    workers: int = 2
+    queue_blocks: int = 8
+    mp_context: str | None = None
+    #: Relations smaller than this stay serial: worker startup would cost
+    #: more than it parallelises.  0 keeps the pool always-on (deterministic
+    #: engagement, the right default under ``fork``); raise it on platforms
+    #: where only ``spawn`` is available.
+    min_parallel_rows: int = 0
+
+    def _parallel_source(self) -> "TupleGenerator | None":
+        if self.workers <= 1:
+            return None
+        if self.source.row_count < self.min_parallel_rows:
+            return None
+        # Imported lazily: ``repro.core`` imports this module at package
+        # init, so a module-level import back into core would be circular.
+        from ..core.tuplegen import TupleGenerator
+
+        source = self.source
+        if isinstance(source, TupleGenerator):
+            return source
+        return None
+
+    def _iter_merged(
+        self,
+        source: "TupleGenerator",
+        box: "BoxCondition",
+        requested: list[str],
+        batch_size: int,
+        skip_box: "BoxCondition | None" = None,
+    ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+        """Shard, fan out, merge — accounting stats and pacing in-parent."""
+        from ..parallel.pool import iter_parallel_blocks
+        from ..parallel.sharding import ShardPlan
+
+        plan = ShardPlan.build(
+            source.summary,
+            workers=self.workers,
+            batch_size=batch_size,
+            box=box,
+            skip_box=skip_box,
+            pk_column=source.table.primary_key,
+            # A chunk must fit in its worker's bounded queue (plus the end
+            # marker) for the round-robin drain to fully overlap the lanes.
+            # Sized in rows, which equals blocks only while summary segments
+            # are >= batch_size: many tiny segments emit one (small) block
+            # each, degrading overlap — never correctness or the memory
+            # bound, which the queue enforces regardless.
+            target_chunk_rows=batch_size * max(1, self.queue_blocks // 2),
+        )
+        for start, generated, matched, block in iter_parallel_blocks(
+            source.table,
+            source.summary,
+            plan,
+            box,
+            columns=requested,
+            skip_box=skip_box,
+            queue_blocks=self.queue_blocks,
+            mp_context=self.mp_context,
+        ):
+            self.stats.rows_generated += generated
+            if generated:
+                self.stats.batches += 1
+                self.stats.seconds_throttled += self.rate_limiter.throttle(generated)
+            yield start, generated, matched, block
+
+    def iter_blocks(
+        self, batch_size: int | None = None, columns: Sequence[str] | None = None
+    ) -> Iterator[tuple[int, int, dict[str, np.ndarray]]]:
+        source = self._parallel_source()
+        if source is None:
+            yield from super().iter_blocks(batch_size, columns)
+            return
+        effective_batch = batch_size or self.batch_size
+        requested = list(columns) if columns is not None else self.source.column_names
+        # An unconstrained box generates every tuple exactly once; batches
+        # are anchored per summary segment rather than at offset 0, which
+        # only changes block boundaries — concatenated output (what
+        # ``fetch_columns``/``materialize``/``iter_rows`` consume) is
+        # identical to the serial route.
+        for start, generated, _matched, block in self._iter_merged(
+            source, BoxCondition({}), requested, effective_batch
+        ):
+            yield start, generated, block
+
+    def iter_filtered_blocks(
+        self,
+        predicate: "Predicate | None" = None,
+        box: "BoxCondition | None" = None,
+        columns: Sequence[str] | None = None,
+        batch_size: int | None = None,
+        skip_box: "BoxCondition | None" = None,
+    ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+        source = self._parallel_source()
+        if source is None or box is None:
+            yield from super().iter_filtered_blocks(
+                predicate=predicate,
+                box=box,
+                columns=columns,
+                batch_size=batch_size,
+                skip_box=skip_box,
+            )
+            return
+        effective_batch = batch_size or self.batch_size
+        requested = list(columns) if columns is not None else self.source.column_names
+        yield from self._iter_merged(source, box, requested, effective_batch, skip_box)

@@ -112,6 +112,16 @@ class ExecutionEngine:
     streamed through it batch-by-batch, with semi-join FK pushdown skipping
     probe summary segments that cannot join.  All knobs leave every AQP
     annotation and every output block bit-identical to the naive route.
+
+    Parallel regeneration is transparent to the engine: when a relation is
+    attached as a :class:`~repro.executor.datagen.ParallelDataGenRelation`,
+    every streaming consumer here (fused filter+scan, streaming-join probe,
+    ``fetch_columns``) receives the ordered merge of the worker shards
+    through the same ``iter_filtered_blocks``/``fetch_columns`` interface —
+    filtered block streams are yield-for-yield identical to serial
+    generation and fetched columns are value-identical, so results, row
+    order, ``scanned_rows`` and annotations do not depend on the worker
+    count.
     """
 
     database: Database

@@ -47,6 +47,17 @@ class RateLimiter:
 
     ``rows_per_second=None`` (or ``<= 0``) disables throttling entirely, which
     is the "as fast as possible" position of the demo's velocity slider.
+
+    A limiter is *not* process-safe and must never be shared with (or shipped
+    to) regeneration worker processes: under sharded parallel generation
+    (``workers > 1``) the consuming process throttles the **merged** block
+    stream, so one limiter observes one totally-ordered stream exactly as in
+    the serial case.  Shared mode (``Hydra.regenerate(shared_rate_limiter=
+    True)``) paces the union of all relations' merged streams against a
+    single budget; per-relation :meth:`clone` mode paces each relation's
+    merged stream independently — in both modes the budget is rows *delivered
+    to the consumer* per second, regardless of how many workers produced
+    them (workers may run ahead by the bounded queue capacity).
     """
 
     rows_per_second: float | None = None
@@ -85,7 +96,10 @@ class RateLimiter:
         Streams that should be paced independently (one relation each) must
         not share a limiter instance: ``_start``/``_produced`` are cumulative,
         so a shared instance would pace stream B as if stream A's rows counted
-        against its budget.
+        against its budget.  With ``workers > 1`` each clone still paces its
+        relation's single merged stream (cloning happens per relation, never
+        per worker), so the per-relation budget semantics are identical to
+        serial generation.
         """
         return RateLimiter(
             rows_per_second=self.rows_per_second, clock=self.clock, sleep=self.sleep

@@ -1,0 +1,229 @@
+"""Spawn-safe worker pool streaming regenerated blocks with backpressure.
+
+Each worker lane of a :class:`~repro.parallel.sharding.ShardPlan` regenerates
+its round-robin share of the plan's chunks in its own process.  The design
+keeps three promises:
+
+* **spawn-safe** — the worker entry point is a module-level function and all
+  worker state travels through its arguments: one pickled payload (table +
+  relation summary + pushdown boxes, serialised once and shipped to every
+  worker at process creation) plus the worker's offset windows and a result
+  queue.  Nothing relies on fork-inherited globals, so the pool runs under
+  any multiprocessing start method (``fork`` is preferred when available
+  because process creation is ~two orders of magnitude cheaper).
+* **backpressure** — every worker streams its blocks through its own
+  *bounded* queue.  A worker that runs ahead of the consumer blocks on
+  ``put``, so peak parent+workers memory is O(workers × queue_blocks ×
+  batch), never O(relation).
+* **bit-identical ordered merge with pipeline overlap** — the parent walks
+  the plan's chunks in global offset order and drains each chunk from its
+  worker's queue (a per-chunk end marker separates them).  Because
+  ``iter_filtered_blocks(offsets=...)`` assigns every serial yield to
+  exactly one chunk by start offset and the chunks are contiguous, the
+  merged stream is yield-for-yield identical to the serial iterator: same
+  ``(start, generated, matched)`` accounting, same block boundaries, same
+  row order, same dtypes.  The round-robin deal is what keeps all workers
+  busy: while chunk ``i`` drains, the workers owning chunks ``i+1 ..
+  i+workers-1`` are regenerating them into their queues, so the drain order
+  never serialises the lanes the way K monolithic shards would.
+
+Rate limiting deliberately does **not** happen here: the consumer (a
+:class:`~repro.executor.datagen.ParallelDataGenRelation`) paces the *merged*
+stream, so a shared limiter budgets the relation as one stream rather than
+K independent ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_module
+import traceback
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..catalog.schema import Table
+from ..core.errors import ParallelGenerationError
+from ..core.summary import RelationSummary
+from ..core.tuplegen import TupleGenerator
+from ..sql.expressions import BoxCondition
+from .sharding import ShardPlan
+
+__all__ = ["default_min_parallel_rows", "default_workers", "iter_parallel_blocks"]
+
+_BLOCK = 0
+_CHUNK_END = 1
+_ERROR = 2
+
+#: Seconds between liveness checks while waiting on a worker's queue.
+_POLL_SECONDS = 1.0
+
+
+def default_workers() -> int:
+    """The worker count implied by the ``REPRO_WORKERS`` environment variable.
+
+    ``1`` (serial) when the variable is unset, empty, or not a positive
+    integer — the whole test suite can be re-run under ``REPRO_WORKERS=2``
+    to exercise the parallel path everywhere regeneration happens.
+    """
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    if not value:
+        return 1
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return 1
+
+
+def _preferred_context() -> str:
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def default_min_parallel_rows(batch_size: int, workers: int) -> int:
+    """Smallest relation worth fanning out on this platform.
+
+    Under ``fork`` process creation costs ~1ms, so parallelism pays off for
+    any relation big enough to shard at all (threshold 0).  Where only
+    ``spawn`` is available each worker pays a full interpreter start
+    (~100ms), so tiny relations must stay on the serial in-process path: the
+    threshold asks for at least a few batches of work per worker before
+    spinning up the pool.
+    """
+    if "fork" in mp.get_all_start_methods():
+        return 0
+    return 4 * batch_size * max(1, workers)
+
+
+def _lane_worker(payload: bytes, windows: list[tuple[int, int]], results) -> None:
+    """Worker entry point: regenerate a lane's chunks, in order, streaming back.
+
+    Emits a ``_CHUNK_END`` marker after each window so the parent can drain
+    chunk-by-chunk in global order.  Module-level (and fed purely by its
+    arguments) so it is importable and picklable under ``spawn``.
+    """
+    try:
+        table, summary, box, skip_box, columns, batch_size = pickle.loads(payload)
+        generator = TupleGenerator(table=table, summary=summary)
+        for window in windows:
+            for item in generator.iter_filtered_blocks(
+                box,
+                batch_size=batch_size,
+                columns=columns,
+                skip_box=skip_box,
+                offsets=window,
+            ):
+                results.put((_BLOCK, item))
+            results.put((_CHUNK_END, None))
+    except BaseException as exc:  # noqa: BLE001 - ship the failure to the parent
+        try:
+            results.put((_ERROR, (type(exc).__name__, str(exc), traceback.format_exc())))
+        except Exception:
+            pass  # the parent detects the dead worker through liveness polling
+
+
+def _next_item(results, process, shard, table: str):
+    """Blocking queue read that survives a worker dying without a sentinel."""
+    while True:
+        try:
+            return results.get(timeout=_POLL_SECONDS)
+        except queue_module.Empty:
+            if process.is_alive():
+                continue
+            try:  # drain race: the worker may have finished between checks
+                return results.get_nowait()
+            except queue_module.Empty:
+                raise ParallelGenerationError(
+                    f"worker for shard {shard.index} [{shard.start}, {shard.end}) "
+                    f"of relation {table!r} exited with code {process.exitcode} "
+                    "without completing its stream"
+                ) from None
+
+
+def iter_parallel_blocks(
+    table: Table,
+    summary: RelationSummary,
+    plan: ShardPlan,
+    box: BoxCondition,
+    columns: Sequence[str] | None = None,
+    skip_box: BoxCondition | None = None,
+    queue_blocks: int = 8,
+    mp_context: str | None = None,
+) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+    """Regenerate ``plan``'s chunks in parallel, merged back in serial order.
+
+    Yields the exact ``(start, generated, matched, block)`` stream of
+    ``TupleGenerator(table, summary).iter_filtered_blocks(box, ...)`` — see
+    the module docstring for the three guarantees.  Worker failures surface
+    as :class:`~repro.core.errors.ParallelGenerationError` carrying the
+    remote traceback; closing the iterator early terminates the workers.
+    """
+    windows = plan.worker_windows()
+    active_lanes = [lane for lane, lane_windows in enumerate(windows) if lane_windows]
+    if len(active_lanes) <= 1:
+        # One (or zero) lanes of work: process overhead buys nothing.
+        generator = TupleGenerator(table=table, summary=summary)
+        for shard in plan.non_empty_shards():
+            yield from generator.iter_filtered_blocks(
+                box,
+                batch_size=plan.batch_size,
+                columns=columns,
+                skip_box=skip_box,
+                offsets=shard.offsets,
+            )
+        return
+
+    context = mp.get_context(mp_context or _preferred_context())
+    payload = pickle.dumps(
+        (
+            table,
+            summary,
+            box,
+            skip_box,
+            list(columns) if columns is not None else None,
+            plan.batch_size,
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    queues = {
+        lane: context.Queue(maxsize=max(2, queue_blocks)) for lane in active_lanes
+    }
+    processes = {
+        lane: context.Process(
+            target=_lane_worker,
+            args=(payload, windows[lane], queues[lane]),
+            daemon=True,
+            name=f"repro-shard-{plan.table}-{lane}",
+        )
+        for lane in active_lanes
+    }
+    for process in processes.values():
+        process.start()
+    try:
+        for shard in plan.non_empty_shards():
+            results = queues[shard.worker]
+            process = processes[shard.worker]
+            while True:
+                kind, data = _next_item(results, process, shard, plan.table)
+                if kind == _CHUNK_END:
+                    break
+                if kind == _ERROR:
+                    name, message, remote_traceback = data
+                    raise ParallelGenerationError(
+                        f"worker for shard {shard.index} of relation "
+                        f"{plan.table!r} raised {name}: {message}\n"
+                        f"--- remote traceback ---\n{remote_traceback}"
+                    )
+                yield data
+        for process in processes.values():
+            process.join()
+    finally:
+        for process in processes.values():
+            if process.is_alive():
+                process.terminate()
+        for process in processes.values():
+            process.join(timeout=5)
+        for results in queues.values():
+            results.close()
