@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pytest
 
+from reporting import record
+
 from repro.core.pipeline import Hydra
 from repro.verify.comparator import VolumetricComparator
 
@@ -51,6 +53,8 @@ def test_e8_alignment_strategy(benchmark, small_tpcds_client, label, kwargs):
     )
     benchmark.extra_info["strategy"] = label
     benchmark.extra_info["fraction_exact"] = round(verification.fraction_within(0.001), 4)
+    record("E8", f"fraction_exact_{label}", verification.fraction_within(0.001))
+    record("E8", f"mean_relative_error_{label}", verification.mean_relative_error())
     benchmark.extra_info["mean_relative_error"] = round(verification.mean_relative_error(), 5)
     benchmark.extra_info["max_relative_error"] = round(verification.max_relative_error(), 5)
 

@@ -10,6 +10,8 @@ dataless regeneration and verification.
 
 from __future__ import annotations
 
+from reporting import record
+
 from repro.client.anonymizer import Anonymizer
 from repro.client.package import InformationPackage
 from repro.core.pipeline import Hydra
@@ -49,6 +51,9 @@ def test_e10_package_roundtrip(benchmark, small_tpcds_client, tmp_path):
     benchmark.extra_info["package_bytes"] = received.size_bytes()
     benchmark.extra_info["summary_bytes"] = result.summary.size_bytes()
     benchmark.extra_info["fraction_within_10pct"] = verification.fraction_within(0.1)
+    record("E10", "package_bytes", received.size_bytes())
+    record("E10", "summary_bytes", result.summary.size_bytes())
+    record("E10", "fraction_within_10pct", verification.fraction_within(0.1))
 
     assert verification.fraction_within(0.1) == 1.0
     # The vendor never sees original identifiers or tuples.

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pytest
 
+from reporting import record
+
 from repro.core.pipeline import Hydra
 from repro.executor.datagen import DataGenRelation
 from repro.executor.rate import RateLimiter, VirtualClock
@@ -44,6 +46,7 @@ def test_e5_unthrottled_generation_throughput(benchmark, store_sales_generator):
           f"=> {throughput:,.0f} rows/s")
     benchmark.extra_info["rows"] = rows
     benchmark.extra_info["rows_per_second"] = int(throughput)
+    record("E5", "rows_per_second", throughput)
     assert throughput > 50_000  # comfortably streams Big Data volumes in memory
 
 
@@ -62,6 +65,7 @@ def test_e5_random_access_row_generation(benchmark, store_sales_generator):
     print()
     print(f"E5: random access: {per_row * 1e6:.1f} µs per arbitrary row")
     benchmark.extra_info["microseconds_per_row"] = round(per_row * 1e6, 2)
+    record("E5", "random_access_microseconds_per_row", per_row * 1e6)
 
 
 @pytest.mark.parametrize("target_rate", [10_000, 100_000, 1_000_000])
@@ -84,4 +88,5 @@ def test_e5_velocity_regulation_accuracy(benchmark, store_sales_generator, targe
           f"(deviation {deviation:.2%})")
     benchmark.extra_info["target_rate"] = target_rate
     benchmark.extra_info["observed_rate"] = int(observed)
+    record("E5", f"rate_deviation_at_{target_rate}", deviation)
     assert deviation < 0.01

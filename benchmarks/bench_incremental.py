@@ -1,0 +1,163 @@
+"""E14 — Incremental summary maintenance under a dynamic workload.
+
+The paper's headline scenario is *dynamic* regeneration: the vendor keeps
+receiving new AQPs from the client and must refresh the database summary
+cheaply.  This benchmark measures the cost of absorbing a small delta
+workload (a handful of new queries against one fact relation) into a large
+base workload, comparing
+
+* **full rebuild** — ``Hydra.build_summary`` over the union workload (the
+  seed behaviour: re-ground, re-partition and re-solve every relation); and
+* **incremental** — ``Hydra.extend_summary``: constraint diffing picks out
+  the touched relations, only those are re-solved (warm-starting the
+  partition from the base build's checkpoint), and the refreshed relation
+  summaries are spliced into the base summary.
+
+The incremental route must (a) re-solve *only* the delta's touched
+relations, (b) produce a summary whose regenerated rows match the full
+rebuild bit-for-bit, and (c) be at least 5x faster at full benchmark size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from reporting import record
+
+from repro.client.extractor import AQPExtractor
+from repro.core.pipeline import Hydra
+
+DELTA_SQLS = [
+    (
+        "delta_quantity",
+        "select count(*) from catalog_sales "
+        "where catalog_sales.cs_quantity >= 10 and catalog_sales.cs_quantity < 50",
+    ),
+    (
+        "delta_cost",
+        "select * from catalog_sales where catalog_sales.cs_wholesale_cost >= 40",
+    ),
+]
+DELTA_RELATION = "catalog_sales"
+
+
+def _delta_aqps(database, schema):
+    extractor = AQPExtractor(database=database)
+    return [
+        extractor.extract_sql(sql, name=name) for name, sql in DELTA_SQLS
+    ]
+
+
+def _materialized_rows(hydra, summary, names):
+    database = hydra.regenerate(summary, workers=1, materialize=list(names))
+    return {name: database.table_data(name) for name in names}
+
+
+def test_e14_incremental_maintenance_speedup(benchmark, tpcds_client, bench_tiny):
+    database, metadata, _queries, aqps = tpcds_client
+    delta = _delta_aqps(database, metadata.schema)
+    hydra = Hydra(metadata=metadata)
+
+    base = hydra.build_summary(aqps)
+    touched = hydra.touched_relations(base, delta)
+    assert touched == [DELTA_RELATION], touched
+
+    start = time.perf_counter()
+    fresh = hydra.build_summary(aqps + delta)
+    full_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    extended = hydra.extend_summary(base, delta)
+    extend_seconds = time.perf_counter() - start
+
+    # (a) only the touched relation was re-solved.
+    assert extended.report.resolved_relations() == [DELTA_RELATION]
+    reused = set(extended.report.reused_relations())
+    assert reused == set(base.summary.relations) - {DELTA_RELATION}
+    assert extended.summary.version == base.summary.version + 1
+
+    # (b) the refreshed summary equals the from-scratch union build —
+    # summary rows and regenerated tuple streams, bit for bit.
+    for name in fresh.summary.relations:
+        assert (
+            fresh.summary.relations[name].to_dict()
+            == extended.summary.relations[name].to_dict()
+        ), f"summary of {name} diverged from the union build"
+    names = list(fresh.summary.relations)
+    fresh_rows = _materialized_rows(hydra, fresh.summary, names)
+    extended_rows = _materialized_rows(hydra, extended.summary, names)
+    for name in names:
+        for column in fresh_rows[name].columns:
+            assert np.array_equal(
+                fresh_rows[name].columns[column], extended_rows[name].columns[column]
+            ), f"{name}.{column} diverged from the union build"
+
+    speedup = full_seconds / max(extend_seconds, 1e-9)
+    print()
+    print(f"E14: incremental maintenance of a {len(aqps)}-query base workload")
+    print(f"  delta: {len(delta)} new queries touching {touched}")
+    print(f"  full rebuild : {full_seconds * 1e3:9.1f} ms")
+    print(f"  extend       : {extend_seconds * 1e3:9.1f} ms")
+    print(f"  speedup      : {speedup:9.1f}x")
+
+    record("E14", "full_rebuild_seconds", full_seconds)
+    record("E14", "extend_seconds", extend_seconds)
+    record("E14", "speedup", speedup)
+    record("E14", "relations_resolved", len(extended.report.resolved_relations()))
+    record("E14", "relations_reused", len(reused))
+
+    benchmark.extra_info["full_rebuild_ms"] = round(full_seconds * 1e3, 1)
+    benchmark.extra_info["extend_ms"] = round(extend_seconds * 1e3, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+
+    # (c) the order-of-magnitude claim, asserted at full size only — at smoke
+    # sizes the fixed per-call overhead dominates both routes.
+    if not bench_tiny:
+        assert speedup >= 5.0, f"incremental speedup {speedup:.1f}x below 5x"
+
+    benchmark.pedantic(
+        lambda: hydra.extend_summary(base, delta), rounds=3, iterations=1
+    )
+
+
+def test_e14_repeated_deltas_converge(tpcds_client):
+    """Applying a delta in two halves equals applying it at once."""
+    database, metadata, _queries, aqps = tpcds_client
+    delta = _delta_aqps(database, metadata.schema)
+    hydra = Hydra(metadata=metadata)
+    base = hydra.build_summary(aqps)
+
+    stepwise = hydra.extend_summary(
+        hydra.extend_summary(base, delta[:1]), delta[1:]
+    )
+    at_once = hydra.extend_summary(base, delta)
+    for name in at_once.summary.relations:
+        assert (
+            stepwise.summary.relations[name].to_dict()
+            == at_once.summary.relations[name].to_dict()
+        )
+    assert stepwise.summary.version == base.summary.version + 2
+
+
+def test_e14_extension_state_survives_serialisation(tpcds_client):
+    """The vendor can resume incremental maintenance from the summary JSON."""
+    database, metadata, _queries, aqps = tpcds_client
+    delta = _delta_aqps(database, metadata.schema)
+    hydra = Hydra(metadata=metadata)
+
+    base = hydra.build_summary(aqps)
+    base.attach_extension_state()
+    from repro.core.summary import DatabaseSummary
+
+    restored = hydra.restore_result(
+        DatabaseSummary.from_json(base.summary.to_json())
+    )
+    extended = hydra.extend_summary(restored, delta)
+    fresh = hydra.build_summary(aqps + delta)
+    for name in fresh.summary.relations:
+        assert (
+            fresh.summary.relations[name].to_dict()
+            == extended.summary.relations[name].to_dict()
+        )

@@ -26,6 +26,8 @@ from __future__ import annotations
 import time
 import tracemalloc
 
+from reporting import record
+
 from repro.core.pipeline import Hydra, scale_row_counts
 from repro.executor.engine import ExecutionEngine
 from repro.plans.logical import plan_from_dict
@@ -121,6 +123,7 @@ def test_e12_join_routes_and_count_fastpath(benchmark, toy_client):
         for factor, routes in timings.items()
     }
     benchmark.extra_info["speedup_at_largest_scale"] = round(speedup, 1)
+    record("E12", "join_count_fastpath_speedup", speedup)
 
     database = _regenerated_database(metadata, aqps, factors[-1])
     benchmark.pedantic(
@@ -154,6 +157,8 @@ def test_e12_streaming_join_is_memory_bounded(toy_client):
     # least); streaming stays within the build side plus a few batches.
     assert peaks["materialising"] > rows * 8
     assert peaks["streaming"] < peaks["materialising"] / 5
+    record("E12", "probe_peak_bytes_materialising", peaks["materialising"])
+    record("E12", "probe_peak_bytes_streaming", peaks["streaming"])
 
 
 def test_e12_verification_is_route_independent(toy_client):

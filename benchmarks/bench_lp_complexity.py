@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import pytest
 
+from reporting import record
+
 from repro.core.pipeline import Hydra
 from repro.workload.generator import WorkloadConfig, generate_workload
 from repro.client.extractor import AQPExtractor
@@ -54,6 +56,9 @@ def test_e3_region_vs_grid_variables(benchmark, tpcds_client, num_queries):
     benchmark.extra_info["grid_variables"] = total_grid
     benchmark.extra_info["reduction_factor"] = round(total_grid / max(total_regions, 1), 2)
 
+    record("E3", f"region_variables_{num_queries}q", total_regions)
+    record("E3", f"grid_reduction_factor_{num_queries}q", total_grid / max(total_regions, 1))
+
     # Shape of the paper's claim: the grid encoding is strictly larger, and the
     # gap widens with workload size (orders of magnitude at full density).
     assert total_grid > total_regions
@@ -86,4 +91,5 @@ def test_e3_single_relation_explosion(benchmark):
     )
     benchmark.extra_info["regions"] = len(regions)
     benchmark.extra_info["grid_cells"] = grid
+    record("E3", "single_relation_grid_reduction", grid / len(regions))
     assert grid / len(regions) > 100

@@ -27,6 +27,8 @@ import time
 
 import numpy as np
 
+from reporting import record
+
 from repro.core.pipeline import Hydra, scale_row_counts
 from repro.executor.engine import ExecutionEngine
 from repro.plans.logical import plan_from_dict
@@ -75,7 +77,7 @@ def test_e13_parallel_generation_scaling(benchmark, toy_client, bench_tiny):
 
     print()
     print(
-        f"E13: generation-bound streaming COUNT over dataless R "
+        "E13: generation-bound streaming COUNT over dataless R "
         f"({summary.row_count('R'):,} rows) — {COUNT_SQL!r}"
     )
     throughput: dict[int, float] = {}
@@ -126,6 +128,9 @@ def test_e13_parallel_generation_scaling(benchmark, toy_client, bench_tiny):
     }
     benchmark.extra_info["scaling_at_max_workers"] = round(scaling, 2)
     benchmark.extra_info["usable_cores"] = cores
+    for workers, rate in throughput.items():
+        record("E13", f"tuples_per_second_{workers}w", rate)
+    record("E13", "scaling_at_max_workers", scaling)
     if not bench_tiny and cores >= 4:
         assert scaling >= 2.0, (
             f"expected >= 2x tuple throughput at {WORKER_COUNTS[-1]} workers on "

@@ -22,6 +22,8 @@ from __future__ import annotations
 import time
 import tracemalloc
 
+from reporting import record
+
 from repro.core.pipeline import Hydra, scale_row_counts
 from repro.executor.engine import ExecutionEngine
 from repro.plans.logical import plan_from_dict
@@ -95,6 +97,8 @@ def test_e11_pushdown_and_fastpath_routes(benchmark, toy_client):
         for factor, routes in timings.items()
     }
     benchmark.extra_info["speedup_at_largest_scale"] = round(speedup, 1)
+    record("E11", "count_fastpath_speedup", speedup)
+    record("E11", "fastpath_seconds", largest["fast-path"])
 
     database = _regenerated_database(metadata, aqps, factors[-1])
     benchmark.pedantic(

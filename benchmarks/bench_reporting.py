@@ -1,0 +1,50 @@
+"""Unit checks of the machine-readable reporting helper itself.
+
+Named ``bench_*`` so the CI benchmark-smoke glob keeps it exercised alongside
+the experiments that depend on it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from reporting import load_results, record, results_path
+
+
+def test_record_appends_and_roundtrips(tmp_path):
+    target = tmp_path / "results.json"
+    first = record("EX", "metric_a", 1.5, tiny=False, path=target)
+    assert first == {"experiment": "EX", "metric": "metric_a", "value": 1.5, "tiny": False}
+    record("EX", "metric_b", 2, tiny=True, path=target)
+
+    entries = load_results(target)
+    assert [entry["metric"] for entry in entries] == ["metric_a", "metric_b"]
+    assert entries[1]["value"] == 2.0 and entries[1]["tiny"] is True
+    # The file is plain JSON, consumable without this module.
+    assert json.loads(target.read_text()) == entries
+
+
+def test_record_creates_parent_directories(tmp_path):
+    target = tmp_path / "nested" / "dir" / "results.json"
+    record("EX", "metric", 0.0, path=target)
+    assert load_results(target)
+
+
+def test_load_results_empty_when_missing(tmp_path):
+    assert load_results(tmp_path / "absent.json") == []
+
+
+def test_load_results_rejects_non_array(tmp_path):
+    target = tmp_path / "bad.json"
+    target.write_text("{}")
+    with pytest.raises(ValueError, match="JSON array"):
+        load_results(target)
+
+
+def test_results_path_honours_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path / "custom.json"))
+    assert results_path() == tmp_path / "custom.json"
+    record("EX", "metric", 1.0)
+    assert load_results(tmp_path / "custom.json")

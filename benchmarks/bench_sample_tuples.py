@@ -10,6 +10,8 @@ generation path used by the demo's preview pane.
 
 from __future__ import annotations
 
+from reporting import record
+
 from repro.core.pipeline import Hydra
 from repro.verify.report import format_sample_tuples
 
@@ -38,6 +40,8 @@ def test_e6_item_sample_tuples(benchmark, tpcds_client):
     )
     benchmark.extra_info["block_offsets"] = offsets
     benchmark.extra_info["summary_rows"] = len(result.summary.relation("item").rows)
+    record("E6", "item_summary_rows", len(result.summary.relation("item").rows))
+    record("E6", "sample_seconds", benchmark.stats.stats.mean)
 
     # Auto-numbered primary keys at the block starts, as in the paper's table.
     assert [row[0] for row in rows] == offsets

@@ -17,6 +17,8 @@ import time
 
 import pytest
 
+from reporting import record
+
 from repro.core.pipeline import Hydra
 from repro.core.scenario import Scenario, build_scenario
 
@@ -42,6 +44,9 @@ def test_e4_summary_construction_is_scale_free(benchmark, small_tpcds_client, fa
     benchmark.extra_info["regenerable_rows"] = total_rows
     benchmark.extra_info["summary_rows"] = result.summary.total_summary_rows()
     benchmark.extra_info["summary_bytes"] = result.summary.size_bytes()
+
+    record("E4", f"build_seconds_x{factor:g}", result.report.total_seconds)
+    record("E4", f"summary_bytes_x{factor:g}", result.summary.size_bytes())
 
 
 def test_e4_materialisation_grows_with_scale(benchmark, small_tpcds_client):

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pytest
 
+from reporting import record
+
 from repro.core.scenario import (
     Scenario,
     build_scenario,
@@ -57,6 +59,8 @@ def test_e7_feasibility_check_of_injected_scenarios(benchmark, base_scenario):
           f"(max error {absurd_report.max_relative_error:.0%})")
     benchmark.extra_info["plausible_feasible"] = plausible_report.feasible
     benchmark.extra_info["absurd_feasible"] = absurd_report.feasible
+    record("E7", "plausible_feasible", float(plausible_report.feasible))
+    record("E7", "absurd_feasible", float(absurd_report.feasible))
     assert plausible_report.feasible
     assert not absurd_report.feasible
 
@@ -78,6 +82,7 @@ def test_e7_exabyte_extrapolation(benchmark, base_scenario, target_total):
     benchmark.extra_info["target_total_rows"] = target_total
     benchmark.extra_info["summary_bytes"] = result.summary.size_bytes()
     benchmark.extra_info["build_seconds"] = round(result.report.total_seconds, 3)
+    record("E7", f"extrapolation_build_seconds_{target_total:.0e}", result.report.total_seconds)
 
     assert result.summary.total_rows() >= 0.9 * target_total
     assert result.report.total_seconds < 30

@@ -12,6 +12,8 @@ and records the serialised summary size.
 
 from __future__ import annotations
 
+from reporting import record
+
 from repro.core.pipeline import Hydra
 
 KB = 1024
@@ -36,6 +38,10 @@ def test_e1_summary_construction_131_queries(benchmark, tpcds_client):
     benchmark.extra_info["summary_bytes"] = summary_bytes
     benchmark.extra_info["summary_kb"] = round(summary_bytes / KB, 1)
     benchmark.extra_info["build_seconds"] = round(result.report.total_seconds, 2)
+
+    record("E1", "build_seconds", result.report.total_seconds)
+    record("E1", "summary_bytes", summary_bytes)
+    record("E1", "lp_variables", result.report.total_lp_variables())
 
     print()
     print("E1: summary construction (131-query TPC-DS-like workload)")

@@ -9,6 +9,8 @@ reproduced exactly.
 
 from __future__ import annotations
 
+from reporting import record
+
 from repro.core.pipeline import Hydra
 from repro.verify.comparator import VolumetricComparator
 
@@ -42,6 +44,8 @@ def test_e9_figure1_end_to_end(benchmark, toy_client):
           f"max relative error {verification.max_relative_error():.2%}")
     benchmark.extra_info["summary_bytes"] = result.summary.size_bytes()
     benchmark.extra_info["max_relative_error"] = verification.max_relative_error()
+    record("E9", "summary_bytes", result.summary.size_bytes())
+    record("E9", "max_relative_error", verification.max_relative_error())
 
     assert verification.max_relative_error() == 0.0
     assert result.summary.size_bytes() < 10_000

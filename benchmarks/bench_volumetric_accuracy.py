@@ -11,6 +11,8 @@ the bottom-left quality graph of the demo's vendor screen (Figure 4).
 
 from __future__ import annotations
 
+from reporting import record
+
 from repro.core.pipeline import Hydra
 from repro.verify.comparator import VolumetricComparator
 from repro.verify.report import format_error_cdf
@@ -36,6 +38,10 @@ def test_e2_volumetric_error_cdf(benchmark, tpcds_client):
     benchmark.extra_info["fraction_exact"] = round(verification.fraction_within(0.001), 4)
     benchmark.extra_info["fraction_within_10pct"] = round(verification.fraction_within(0.1), 4)
     benchmark.extra_info["max_relative_error"] = round(verification.max_relative_error(), 4)
+
+    record("E2", "fraction_exact", verification.fraction_within(0.001))
+    record("E2", "fraction_within_10pct", verification.fraction_within(0.1))
+    record("E2", "max_relative_error", verification.max_relative_error())
 
     # Shape of the paper's claim.
     assert verification.fraction_within(0.001) > 0.9

@@ -1,0 +1,73 @@
+"""Machine-readable benchmark reporting.
+
+Every ``bench_*.py`` module calls :func:`record` for its headline metrics;
+the records accumulate in ``BENCH_RESULTS.json`` (overridable through the
+``REPRO_BENCH_RESULTS`` environment variable) as a flat JSON array of
+
+    {"experiment": "E14", "metric": "speedup", "value": 12.3, "tiny": false}
+
+objects — one file the CI benchmark-smoke step uploads as an artifact, so
+the performance trajectory of the hot paths is persisted per commit instead
+of scrolling away in the job log.  ``tiny`` marks values measured at the
+``REPRO_BENCH_TINY=1`` smoke sizes, whose absolute numbers are not
+comparable with full-size runs.
+
+The format is append-only and self-describing on purpose: downstream
+tooling (regression dashboards, trend plots) needs no knowledge of the
+individual benchmark modules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["record", "results_path", "load_results"]
+
+_TINY = os.environ.get("REPRO_BENCH_TINY", "").lower() in ("1", "true", "yes")
+
+
+def results_path() -> Path:
+    """Where records accumulate (``REPRO_BENCH_RESULTS`` or CWD default)."""
+    return Path(os.environ.get("REPRO_BENCH_RESULTS", "BENCH_RESULTS.json"))
+
+
+def load_results(path: str | Path | None = None) -> list[dict[str, Any]]:
+    """All records written so far (an empty list when none exist yet)."""
+    target = Path(path) if path is not None else results_path()
+    if not target.exists():
+        return []
+    payload = json.loads(target.read_text())
+    if not isinstance(payload, list):
+        raise ValueError(f"{target} does not hold a JSON array of records")
+    return payload
+
+
+def record(
+    experiment: str,
+    metric: str,
+    value: float,
+    tiny: bool | None = None,
+    path: str | Path | None = None,
+) -> dict[str, Any]:
+    """Append one ``{experiment, metric, value, tiny}`` record and return it.
+
+    ``tiny`` defaults to whether the harness runs at ``REPRO_BENCH_TINY``
+    smoke sizes.  Records are kept JSON-native (floats, bools, strings) so
+    the file round-trips through any tooling.
+    """
+    entry = {
+        "experiment": str(experiment),
+        "metric": str(metric),
+        "value": float(value),
+        "tiny": _TINY if tiny is None else bool(tiny),
+    }
+    target = Path(path) if path is not None else results_path()
+    entries = load_results(target)
+    entries.append(entry)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(entries, indent=2))
+    return entry

@@ -22,7 +22,7 @@ from typing import Sequence
 
 from .client.anonymizer import Anonymizer
 from .client.extractor import AQPExtractor
-from .client.package import InformationPackage
+from .client.package import DeltaPackage, InformationPackage, load_package_file
 from .core.errors import HydraError
 from .core.pipeline import Hydra
 from .core.summary import DatabaseSummary
@@ -113,10 +113,26 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
         prog="hydra-vendor",
         description="Build the HYDRA database summary from an information package.",
     )
-    parser.add_argument("package", type=Path, help="information package JSON")
+    parser.add_argument(
+        "package", type=Path,
+        help="information package JSON (a delta package when using --extend-from)",
+    )
     parser.add_argument("--mode", default="exact", choices=["exact", "soft"])
     parser.add_argument(
         "--alignment", default="deterministic", choices=["deterministic", "sampling"]
+    )
+    parser.add_argument(
+        "--extend-from", type=Path, default=None, metavar="SUMMARY",
+        help="incremental maintenance: load this previously saved summary "
+        "(with embedded extension state), splice in the package's AQPs as a "
+        "delta workload, and re-solve only the touched relations",
+    )
+    parser.add_argument(
+        "--reuse-solutions", action="store_true",
+        help="with --extend-from: keep a touched relation's previous LP "
+        "solution when it still satisfies the extended constraints exactly "
+        "(keeps already-shipped tuple streams stable, but no longer matches "
+        "a from-scratch build of the union workload)",
     )
     parser.add_argument(
         "--materialize", type=str, default=None, metavar="REL[,REL...]",
@@ -142,10 +158,71 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
             parser.error("--materialize needs at least one relation name")
     if args.workers is not None and not names:
         parser.error("--workers only applies to the --materialize regeneration")
+    if args.reuse_solutions and args.extend_from is None:
+        parser.error("--reuse-solutions only applies together with --extend-from")
 
-    package = InformationPackage.load(args.package)
-    hydra = Hydra(metadata=package.metadata, mode=args.mode, alignment=args.alignment)
-    result = hydra.build_summary(package.aqps)
+    loaded = load_package_file(args.package)
+    hydra = Hydra(metadata=loaded.metadata, mode=args.mode, alignment=args.alignment)
+
+    if args.extend_from is not None:
+        previous = DatabaseSummary.load(args.extend_from)
+        for key in ("mode", "alignment"):
+            recorded = previous.build_info.get(key)
+            requested = getattr(args, key)
+            if recorded is not None and recorded != requested:
+                raise SystemExit(
+                    f"--extend-from summary was built with {key}={recorded!r}, "
+                    f"which does not match the requested {key}={requested!r}"
+                )
+        # The package must describe the same database the summary was built
+        # for — a fingerprint pin when the delta carries one, and always at
+        # least the schema (catches a wrong client's package up front instead
+        # of failing deep inside state restoration, or worse, silently
+        # splicing two clients' workloads).
+        package_tables = sorted(loaded.metadata.schema.table_names)
+        summary_tables = sorted(previous.schema.table_names)
+        if package_tables != summary_tables:
+            raise SystemExit(
+                "--extend-from summary describes relations "
+                f"{', '.join(summary_tables)} but the package describes "
+                f"{', '.join(package_tables)}; it is not a delta against "
+                "this summary's client database"
+            )
+        if isinstance(loaded, DeltaPackage) and loaded.base_fingerprint:
+            pinned = (previous.extension_state or {}).get("package_fingerprint")
+            if pinned and pinned != loaded.base_fingerprint:
+                raise SystemExit(
+                    f"delta package pins base package {loaded.base_fingerprint!r}, "
+                    f"but the summary was built from package {pinned!r}"
+                )
+        try:
+            base_result = hydra.restore_result(previous)
+            result = hydra.extend_summary(
+                base_result, loaded.aqps,
+                reuse_feasible_solutions=args.reuse_solutions,
+            )
+        except HydraError as exc:
+            raise SystemExit(str(exc))
+        union_package = InformationPackage(
+            metadata=loaded.metadata, aqps=result.aqps, client_name=loaded.client_name
+        )
+        result.attach_extension_state(union_package.fingerprint())
+        resolved = result.report.resolved_relations()
+        reused = result.report.reused_relations()
+        print(
+            f"incremental extend: re-solved {len(resolved)} relation(s) "
+            f"({', '.join(resolved) or 'none'}), reused {len(reused)} "
+            f"(summary version {result.summary.version})"
+        )
+    else:
+        if isinstance(loaded, DeltaPackage):
+            raise SystemExit(
+                "the package is a delta package; it can only be applied with "
+                "--extend-from SUMMARY"
+            )
+        result = hydra.build_summary(loaded.aqps)
+        result.attach_extension_state(loaded.fingerprint())
+
     result.summary.save(args.output)
 
     print(format_build_report(result.report))

@@ -5,10 +5,17 @@ the CODD-style metadata (row counts and column statistics), and the query
 workload with its AQPs.  No tuples ever leave the client.  The package is a
 single JSON document so it can be inspected, archived, anonymised and
 replayed.
+
+Dynamic workloads ship *deltas*: once the vendor holds a base package, the
+client only sends the newly collected AQPs as a :class:`DeltaPackage` tagged
+with the base package's fingerprint.  The vendor applies the delta to its
+archived base (:meth:`InformationPackage.apply_delta`) — or feeds it straight
+into incremental summary maintenance (``hydra-vendor --extend-from``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -16,14 +23,15 @@ from typing import Any, Iterable, Mapping
 
 from ..catalog.metadata import DatabaseMetadata
 from ..plans.aqp import AnnotatedQueryPlan
+from ..serialization import JsonDocument
 
-__all__ = ["InformationPackage"]
+__all__ = ["InformationPackage", "DeltaPackage", "load_package_file"]
 
 _FORMAT_VERSION = 1
 
 
 @dataclass
-class InformationPackage:
+class InformationPackage(JsonDocument):
     """Schema + metadata + AQPs, as produced by the client site."""
 
     metadata: DatabaseMetadata
@@ -46,6 +54,51 @@ class InformationPackage:
 
     def add_aqps(self, aqps: Iterable[AnnotatedQueryPlan]) -> None:
         self.aqps.extend(aqps)
+
+    # -- delta workflow --------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the package (metadata + workload).
+
+        Used to pair a :class:`DeltaPackage` with the base package it extends
+        — the vendor refuses to splice a delta onto the wrong base.  Only the
+        *content* (metadata and AQPs) is hashed: annotations such as
+        ``client_name`` and ``notes`` do not change what a summary is built
+        from, and excluding them lets the vendor re-derive the union
+        package's fingerprint from the delta alone.
+        """
+        payload = {
+            "metadata": self.metadata.to_dict(),
+            "aqps": [aqp.to_dict() for aqp in self.aqps],
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def make_delta(
+        self, aqps: Iterable[AnnotatedQueryPlan], notes: str = ""
+    ) -> "DeltaPackage":
+        """Package newly collected AQPs as a delta against this base."""
+        return DeltaPackage(
+            metadata=self.metadata,
+            aqps=list(aqps),
+            base_fingerprint=self.fingerprint(),
+            client_name=self.client_name,
+            notes=notes,
+        )
+
+    def apply_delta(self, delta: "DeltaPackage") -> "InformationPackage":
+        """The union package: this base extended by the delta's AQPs."""
+        if delta.base_fingerprint and delta.base_fingerprint != self.fingerprint():
+            raise ValueError(
+                f"delta package was built against base {delta.base_fingerprint!r}, "
+                f"not this package ({self.fingerprint()!r})"
+            )
+        return InformationPackage(
+            metadata=self.metadata,
+            aqps=list(self.aqps) + list(delta.aqps),
+            client_name=self.client_name,
+            notes=self.notes,
+        )
 
     # -- serialisation ---------------------------------------------------
 
@@ -70,20 +123,6 @@ class InformationPackage:
             notes=payload.get("notes", ""),
         )
 
-    def to_json(self, indent: int | None = None) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
-
-    @classmethod
-    def from_json(cls, text: str) -> "InformationPackage":
-        return cls.from_dict(json.loads(text))
-
-    def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json(indent=2))
-
-    @classmethod
-    def load(cls, path: str | Path) -> "InformationPackage":
-        return cls.from_json(Path(path).read_text())
-
     def size_bytes(self) -> int:
         """Serialised size of the package (what actually gets transferred)."""
         return len(self.to_json().encode("utf-8"))
@@ -96,3 +135,64 @@ class InformationPackage:
             f"{self.query_count} queries, {self.constraint_count()} annotated edges, "
             f"{self.size_bytes()} bytes"
         )
+
+
+@dataclass
+class DeltaPackage(JsonDocument):
+    """Newly collected AQPs extending an already-shipped base package.
+
+    Carries the (unchanged) metadata so the vendor can stand up a pipeline
+    without re-reading the base package, plus the base's fingerprint so a
+    delta cannot be spliced onto the wrong summary.
+    """
+
+    metadata: DatabaseMetadata
+    aqps: list[AnnotatedQueryPlan] = field(default_factory=list)
+    base_fingerprint: str = ""
+    client_name: str = "client"
+    notes: str = ""
+
+    @property
+    def query_count(self) -> int:
+        return len(self.aqps)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "delta",
+            "base_fingerprint": self.base_fingerprint,
+            "client_name": self.client_name,
+            "notes": self.notes,
+            "metadata": self.metadata.to_dict(),
+            "aqps": [aqp.to_dict() for aqp in self.aqps],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DeltaPackage":
+        version = payload.get("format_version", _FORMAT_VERSION)
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported delta-package version {version}")
+        if payload.get("kind") != "delta":
+            raise ValueError("payload is not a delta package")
+        return cls(
+            metadata=DatabaseMetadata.from_dict(payload["metadata"]),
+            aqps=[AnnotatedQueryPlan.from_dict(item) for item in payload.get("aqps", [])],
+            base_fingerprint=payload.get("base_fingerprint", ""),
+            client_name=payload.get("client_name", "client"),
+            notes=payload.get("notes", ""),
+        )
+
+    def describe(self) -> str:
+        base = self.base_fingerprint or "<unpinned>"
+        return (
+            f"delta package from {self.client_name!r} against base {base}: "
+            f"{self.query_count} new queries"
+        )
+
+
+def load_package_file(path: str | Path) -> "InformationPackage | DeltaPackage":
+    """Load either package flavour from disk, dispatching on the JSON ``kind``."""
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, Mapping) and payload.get("kind") == "delta":
+        return DeltaPackage.from_dict(payload)
+    return InformationPackage.from_dict(payload)

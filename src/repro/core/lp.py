@@ -54,6 +54,24 @@ class LPProblem:
         scale = np.maximum(self.rhs, 1.0)
         return residual / scale
 
+    def equivalent_to(self, other: "LPProblem") -> bool:
+        """Structural equality of two LPs (matrix, right-hand side, labels).
+
+        The incremental pipeline reuses a previous relation's LP solution when
+        the re-derived problem is provably the one already solved; this check
+        is the ground truth that the cheap signature comparison approximates.
+        The incremental regression tests use it to assert that a warm-started
+        extend derives exactly the problem a from-scratch union build would.
+        """
+        return (
+            self.relation == other.relation
+            and self.row_count_index == other.row_count_index
+            and self.constraint_labels == other.constraint_labels
+            and self.matrix.shape == other.matrix.shape
+            and bool(np.array_equal(self.matrix, other.matrix))
+            and bool(np.array_equal(self.rhs, other.rhs))
+        )
+
     def describe(self) -> str:
         return (
             f"LP[{self.relation}]: {self.num_variables} variables, "
@@ -86,12 +104,16 @@ def build_lp(
     rows = num_constraints + (1 if row_count is not None else 0)
     matrix = np.zeros((rows, num_regions), dtype=np.float64)
     rhs = np.zeros(rows, dtype=np.float64)
+    rhs[:num_constraints] = np.asarray(cardinalities, dtype=np.float64)
 
-    for i, cardinality in enumerate(cardinalities):
-        rhs[i] = float(cardinality)
-        for region in regions:
-            if region.satisfies(i):
-                matrix[i, region.index] = 1.0
+    # One pass over the regions instead of one pass per constraint: a region's
+    # signature lists exactly the predicate indices it satisfies (indices of
+    # tracking-only partition predicates exceed the constraint count and are
+    # dropped), so each region fills its whole matrix column at once.
+    for region in regions:
+        members = [index for index in region.signature if index < num_constraints]
+        if members:
+            matrix[members, region.index] = 1.0
 
     row_count_index: int | None = None
     if row_count is not None:

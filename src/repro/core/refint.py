@@ -18,6 +18,7 @@ additive error.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..sql.expressions import Interval, IntervalSet
 from .summary import DatabaseSummary, FKReference
@@ -63,16 +64,30 @@ class ReferentialReport:
         return "\n".join(lines)
 
 
-def enforce_referential_integrity(summary: DatabaseSummary) -> ReferentialReport:
+def enforce_referential_integrity(
+    summary: DatabaseSummary, only: Iterable[str] | None = None
+) -> ReferentialReport:
     """Clamp every FK reference interval to the referenced relation's size.
 
     Modifies ``summary`` in place and returns the list of repairs.  A
     reference whose intervals become empty after clamping is remapped to the
     full referenced pk range — the "minor additive error" case, since those
     tuples may now join with partners outside the intended predicate region.
+
+    ``only`` restricts the pass to the named relations.  Incremental
+    maintenance uses this for the relations it re-solved: the relations it
+    left untouched *share* their row objects with the base summary, were
+    already enforced by the base build, and reference totals that cannot
+    have changed (the LP's row-count row is hard, and a row-count change
+    marks every referencing relation as touched) — so skipping them both
+    avoids redundant work and guarantees the shared base rows are never
+    mutated by a later extend.
     """
     report = ReferentialReport()
+    names = set(summary.relations) if only is None else set(only)
     for table_name, relation in summary.relations.items():
+        if table_name not in names:
+            continue
         for row_index, row in enumerate(relation.rows):
             for column, reference in list(row.fk_refs.items()):
                 ref_total = summary.row_count(reference.ref_table)

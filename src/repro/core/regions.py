@@ -24,7 +24,13 @@ from typing import Iterable, Mapping, Sequence
 from ..sql.expressions import BoxCondition, Interval, IntervalSet
 from .errors import RegionExplosionError
 
-__all__ = ["Region", "RegionPartitioner", "box_is_empty", "box_difference"]
+__all__ = [
+    "Region",
+    "PartitionCheckpoint",
+    "RegionPartitioner",
+    "box_is_empty",
+    "box_difference",
+]
 
 
 def _condition_is_empty(intervals: IntervalSet, discrete: bool) -> bool:
@@ -140,6 +146,33 @@ class _MutableRegion:
     boxes: list[BoxCondition]
 
 
+@dataclass(frozen=True)
+class PartitionCheckpoint:
+    """Resumable partitioning state after consuming a prefix of predicates.
+
+    The incremental-maintenance pipeline stores the checkpoint of every
+    relation's partition so that a delta workload which *appends* predicate
+    boxes can resume the splitting exactly where the previous build stopped
+    (:meth:`RegionPartitioner.resume`) instead of re-splitting from the
+    domain box.  Resuming is bit-identical to a fresh
+    :meth:`RegionPartitioner.partition` over the concatenated box sequence,
+    because partitioning consumes boxes strictly left to right.
+    """
+
+    boxes: tuple[BoxCondition, ...]
+    regions: tuple[_MutableRegion, ...]
+
+    @property
+    def num_boxes(self) -> int:
+        return len(self.boxes)
+
+    def is_prefix_of(self, boxes: Sequence[BoxCondition]) -> bool:
+        """Whether this checkpoint covers a prefix of ``boxes``."""
+        if len(self.boxes) > len(boxes):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self.boxes, boxes))
+
+
 @dataclass
 class RegionPartitioner:
     """Builds the region partition of one relation's value space.
@@ -164,22 +197,95 @@ class RegionPartitioner:
     domain: BoxCondition | None = None
     max_regions: int = 200_000
     last_boxes_built: int = field(default=0, init=False)
+    last_checkpoint: PartitionCheckpoint | None = field(default=None, init=False)
 
     def partition(self, constraint_boxes: Sequence[BoxCondition]) -> list[Region]:
-        """Partition the space induced by the given predicate boxes."""
+        """Partition the space induced by the given predicate boxes.
+
+        ``last_checkpoint`` afterwards holds the resumable splitting state so
+        a later call can :meth:`resume` with appended boxes.
+        """
         initial_box = self.domain if self.domain is not None else BoxCondition({})
         regions: list[_MutableRegion] = [
             _MutableRegion(signature=set(), boxes=[initial_box])
         ]
+        regions = self._consume(regions, constraint_boxes, 0, len(constraint_boxes))
+        self.last_checkpoint = PartitionCheckpoint(
+            boxes=tuple(constraint_boxes), regions=tuple(regions)
+        )
+        return self._finalize(regions)
 
-        for index, constraint_box in enumerate(constraint_boxes):
-            regions = self._split(regions, index, constraint_box)
+    def advance(
+        self,
+        checkpoint: PartitionCheckpoint | None,
+        boxes: Sequence[BoxCondition],
+    ) -> PartitionCheckpoint:
+        """Consume boxes and return the checkpoint, without finalising regions.
+
+        The checkpoint-only sibling of :meth:`partition`/:meth:`resume` for
+        callers that need an *intermediate* resumable state (the incremental
+        pipeline checkpoints the grounded/tracking boundary of every
+        relation): it skips the sort-and-materialise finalisation, which
+        would be thrown away anyway.  ``checkpoint=None`` starts from the
+        domain box.
+        """
+        if checkpoint is None:
+            initial_box = self.domain if self.domain is not None else BoxCondition({})
+            state: list[_MutableRegion] = [
+                _MutableRegion(signature=set(), boxes=[initial_box])
+            ]
+            consumed: tuple[BoxCondition, ...] = ()
+        else:
+            state = list(checkpoint.regions)
+            consumed = checkpoint.boxes
+        total = len(consumed) + len(boxes)
+        state = self._consume(state, boxes, len(consumed), total)
+        self.last_checkpoint = PartitionCheckpoint(
+            boxes=consumed + tuple(boxes), regions=tuple(state)
+        )
+        return self.last_checkpoint
+
+    def resume(
+        self,
+        checkpoint: PartitionCheckpoint,
+        appended_boxes: Sequence[BoxCondition],
+    ) -> list[Region]:
+        """Continue a checkpointed partition with appended predicate boxes.
+
+        Bit-identical to ``partition(checkpoint.boxes + appended_boxes)``:
+        splitting consumes boxes strictly left to right, so resuming from the
+        stored mutable state replays exactly the suffix of that computation.
+        The checkpoint itself is never mutated and stays valid for further
+        resumes.
+        """
+        total = checkpoint.num_boxes + len(appended_boxes)
+        regions = self._consume(
+            list(checkpoint.regions), appended_boxes, checkpoint.num_boxes, total
+        )
+        self.last_checkpoint = PartitionCheckpoint(
+            boxes=checkpoint.boxes + tuple(appended_boxes), regions=tuple(regions)
+        )
+        return self._finalize(regions)
+
+    # -- internals --------------------------------------------------------
+
+    def _consume(
+        self,
+        regions: list[_MutableRegion],
+        boxes: Sequence[BoxCondition],
+        start_index: int,
+        total_boxes: int,
+    ) -> list[_MutableRegion]:
+        for offset, constraint_box in enumerate(boxes):
+            regions = self._split(regions, start_index + offset, constraint_box)
             if len(regions) > self.max_regions:
                 raise RegionExplosionError(
                     f"region partitioning exceeded {self.max_regions} regions "
-                    f"after {index + 1} of {len(constraint_boxes)} predicates"
+                    f"after {start_index + offset + 1} of {total_boxes} predicates"
                 )
+        return regions
 
+    def _finalize(self, regions: list[_MutableRegion]) -> list[Region]:
         self.last_boxes_built = sum(len(region.boxes) for region in regions)
         ordered = sorted(regions, key=lambda region: tuple(sorted(region.signature)))
         return [
@@ -190,8 +296,6 @@ class RegionPartitioner:
             )
             for i, region in enumerate(ordered)
         ]
-
-    # -- internals --------------------------------------------------------
 
     def _split(
         self,

@@ -28,6 +28,7 @@ __all__ = [
     "scale_metadata",
     "build_scenario",
     "check_feasibility",
+    "check_delta_feasibility",
 ]
 
 
@@ -151,6 +152,69 @@ def check_feasibility(
                 )
             )
     max_error = result.report.max_relative_error()
+    return FeasibilityReport(
+        feasible=max_error <= 0.01,
+        issues=issues,
+        max_relative_error=max_error,
+    )
+
+
+def check_delta_feasibility(
+    hydra: Hydra,
+    base_result: HydraBuildResult,
+    new_aqps: Iterable[AnnotatedQueryPlan],
+) -> FeasibilityReport:
+    """Feasibility of injected delta AQPs against an existing build.
+
+    The dynamic-workload analogue of :func:`check_feasibility`: instead of
+    soft-solving every relation of the scenario from scratch, the delta is
+    run through incremental maintenance (:meth:`Hydra.extend_summary` in soft
+    mode), which re-solves **only** the relations the delta actually touches
+    and reports their residuals.  Relations the delta leaves alone cannot
+    gain new inconsistencies, so skipping them is sound — and it makes
+    repeated what-if probing against a large base workload cheap.
+
+    ``hydra`` is the pipeline that built ``base_result``; the soft probe
+    inherits its configuration (row-count overrides, alignment, region
+    budget), because a configuration mismatch would change every relation's
+    build inputs and silently degrade the probe into a full soft rebuild
+    judged against the wrong row counts.  ``base_result`` must carry
+    extension state (a :meth:`Hydra.build_summary` result, or one restored
+    via :meth:`Hydra.restore_result`).
+    """
+    probe = Hydra(
+        metadata=hydra.metadata,
+        mode="soft",
+        alignment=hydra.alignment,
+        compute_grid_baseline=False,
+        guided_solutions=hydra.guided_solutions,
+        max_regions=hydra.max_regions,
+        sampling_seed=hydra.sampling_seed,
+        row_count_overrides=dict(hydra.row_count_overrides),
+    )
+    try:
+        extended = probe.extend_summary(base_result, list(new_aqps))
+    except InfeasibleConstraintsError as exc:
+        return FeasibilityReport(
+            feasible=False,
+            issues=[FeasibilityIssue(exc.relation, str(exc), float("inf"))],
+            max_relative_error=float("inf"),
+        )
+
+    issues: list[FeasibilityIssue] = []
+    max_error = 0.0
+    for info in extended.report.relations.values():
+        if info.reused:
+            continue
+        max_error = max(max_error, info.max_relative_error)
+        if info.max_relative_error > 1e-6:
+            issues.append(
+                FeasibilityIssue(
+                    relation=info.relation,
+                    constraint=f"{info.num_constraints} constraints",
+                    relative_error=info.max_relative_error,
+                )
+            )
     return FeasibilityReport(
         feasible=max_error <= 0.01,
         issues=issues,

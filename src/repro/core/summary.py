@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 import numpy as np
 
 from ..catalog.schema import Schema, Table
+from ..serialization import JsonDocument
 from ..sql.expressions import BoxCondition, Interval, IntervalSet
 from .errors import SummaryError
 
@@ -420,12 +420,24 @@ class RelationSummary:
 
 
 @dataclass
-class DatabaseSummary:
-    """The complete database summary: one relation summary per table."""
+class DatabaseSummary(JsonDocument):
+    """The complete database summary: one relation summary per table.
+
+    ``version`` counts the summary's maintenance generations: a from-scratch
+    build is version 1 and every incremental :meth:`splice` (the
+    ``Hydra.extend_summary`` delta path) bumps it by one, so downstream
+    consumers can tell refreshed artefacts apart.  ``extension_state`` is the
+    vendor-side bookkeeping (base workload plus per-relation partition
+    inputs) that lets a later session resume incremental maintenance from the
+    serialised summary alone; it is excluded from :meth:`size_bytes` because
+    it is never part of the artefact shipped back to the client.
+    """
 
     schema: Schema
     relations: dict[str, RelationSummary] = field(default_factory=dict)
     build_info: dict[str, Any] = field(default_factory=dict)
+    version: int = 1
+    extension_state: dict[str, Any] | None = None
 
     def relation(self, name: str) -> RelationSummary:
         if name not in self.relations:
@@ -434,6 +446,36 @@ class DatabaseSummary:
 
     def add_relation(self, summary: RelationSummary) -> None:
         self.relations[summary.table] = summary
+
+    def splice(self, replacements: Mapping[str, RelationSummary]) -> "DatabaseSummary":
+        """A new summary with the given relation summaries swapped in.
+
+        Relation order (and hence every untouched relation's regenerated
+        tuple stream) is preserved; untouched :class:`RelationSummary`
+        objects are shared with this summary, which is what makes the
+        incremental-maintenance guarantee "untouched relations stay
+        bit-identical" trivial.  ``version`` is bumped by one; replacement
+        names must already exist.
+        """
+        unknown = sorted(set(replacements) - set(self.relations))
+        if unknown:
+            raise SummaryError(
+                "cannot splice unknown relation(s): " + ", ".join(map(repr, unknown))
+            )
+        for name, replacement in replacements.items():
+            if replacement.table != name:
+                raise SummaryError(
+                    f"replacement for {name!r} summarises {replacement.table!r}"
+                )
+        return DatabaseSummary(
+            schema=self.schema,
+            relations={
+                name: replacements.get(name, relation)
+                for name, relation in self.relations.items()
+            },
+            build_info=dict(self.build_info),
+            version=self.version + 1,
+        )
 
     def row_count(self, name: str) -> int:
         return self.relation(name).total_rows
@@ -477,13 +519,17 @@ class DatabaseSummary:
     # -- size accounting (the "few KB" claim) ------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "schema": self.schema.to_dict(),
             "relations": {
                 name: summary.to_dict() for name, summary in self.relations.items()
             },
             "build_info": self.build_info,
+            "version": int(self.version),
         }
+        if self.extension_state is not None:
+            payload["extension_state"] = self.extension_state
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "DatabaseSummary":
@@ -494,27 +540,19 @@ class DatabaseSummary:
                 for name, item in payload.get("relations", {}).items()
             },
             build_info=dict(payload.get("build_info", {})),
+            version=int(payload.get("version", 1)),
+            extension_state=payload.get("extension_state"),
         )
 
-    def to_json(self, indent: int | None = None) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
-
-    @classmethod
-    def from_json(cls, text: str) -> "DatabaseSummary":
-        return cls.from_dict(json.loads(text))
-
-    def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json(indent=2))
-
-    @classmethod
-    def load(cls, path: str | Path) -> "DatabaseSummary":
-        return cls.from_json(Path(path).read_text())
-
     def size_bytes(self, include_schema: bool = False) -> int:
-        """Serialised size of the summary (excluding the schema by default)."""
+        """Serialised size of the summary (excluding the schema by default).
+
+        Vendor-side ``extension_state`` bookkeeping never counts: the paper's
+        "few KB" metric is about the artefact that regenerates data.
+        """
         payload = self.to_dict()
-        if not include_schema:
-            payload = {key: value for key, value in payload.items() if key != "schema"}
+        excluded = {"extension_state"} | (set() if include_schema else {"schema"})
+        payload = {key: value for key, value in payload.items() if key not in excluded}
         return len(json.dumps(payload).encode("utf-8"))
 
 

@@ -1,0 +1,43 @@
+"""Shared JSON persistence for the serialisable artefacts.
+
+Everything that crosses a process or session boundary — information
+packages, delta packages, database summaries — shares the same wire
+behaviour: ``to_dict``/``from_dict`` define the payload, and this mixin
+keeps the JSON encoding, two-space indentation on save, and
+parent-directory creation in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["JsonDocument"]
+
+
+class JsonDocument:
+    """JSON round-trip + file persistence on top of ``to_dict``/``from_dict``."""
+
+    def to_dict(self) -> dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str):
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path):
+        return cls.from_json(Path(path).read_text())

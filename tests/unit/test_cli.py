@@ -75,3 +75,151 @@ class TestVendorAndVerify:
         )
         assert code == 0
         assert DatabaseSummary.load(summary_path).total_rows() > 0
+
+
+class TestVendorExtend:
+    @pytest.fixture()
+    def split_packages(self, package_path, tmp_path):
+        """The generated package split into a base package and a delta."""
+        full = InformationPackage.load(package_path)
+        base = InformationPackage(
+            metadata=full.metadata, aqps=full.aqps[:-1], client_name=full.client_name
+        )
+        delta = base.make_delta(full.aqps[-1:])
+        base_path = tmp_path / "base_package.json"
+        delta_path = tmp_path / "delta_package.json"
+        base.save(base_path)
+        delta.save(delta_path)
+        return base_path, delta_path
+
+    def test_extend_from_resolves_delta(self, split_packages, tmp_path, capsys):
+        base_path, delta_path = split_packages
+        base_summary = tmp_path / "base_summary.json"
+        assert vendor_main([str(base_path), "--output", str(base_summary)]) == 0
+        assert DatabaseSummary.load(base_summary).extension_state is not None
+
+        extended_summary = tmp_path / "extended_summary.json"
+        code = vendor_main(
+            [
+                str(delta_path),
+                "--extend-from", str(base_summary),
+                "--output", str(extended_summary),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "incremental extend" in captured.out
+        summary = DatabaseSummary.load(extended_summary)
+        assert summary.version == 2
+        assert summary.build_info["extended"] is True
+        # The refreshed summary can extend again.
+        assert summary.extension_state is not None
+
+    def test_delta_package_requires_extend_from(self, split_packages, tmp_path):
+        _base_path, delta_path = split_packages
+        with pytest.raises(SystemExit, match="delta package"):
+            vendor_main([str(delta_path), "--output", str(tmp_path / "s.json")])
+
+    def test_fingerprint_mismatch_rejected(self, split_packages, package_path, tmp_path):
+        base_path, _delta_path = split_packages
+        base_summary = tmp_path / "base_summary.json"
+        vendor_main([str(base_path), "--output", str(base_summary)])
+        # A delta pinned against the *full* package must not splice onto the
+        # base-package summary.
+        full = InformationPackage.load(package_path)
+        wrong_delta = full.make_delta(full.aqps[-1:])
+        wrong_path = tmp_path / "wrong_delta.json"
+        wrong_delta.save(wrong_path)
+        with pytest.raises(SystemExit, match="pins base package"):
+            vendor_main(
+                [
+                    str(wrong_path),
+                    "--extend-from", str(base_summary),
+                    "--output", str(tmp_path / "s.json"),
+                ]
+            )
+
+    def test_extend_from_requires_extension_state(self, split_packages, tmp_path):
+        base_path, delta_path = split_packages
+        bare_summary = tmp_path / "bare_summary.json"
+        package = InformationPackage.load(base_path)
+        from repro.core.pipeline import Hydra
+
+        result = Hydra(metadata=package.metadata).build_summary(package.aqps)
+        result.summary.save(bare_summary)  # saved without extension state
+        with pytest.raises(SystemExit, match="extension state"):
+            vendor_main(
+                [
+                    str(delta_path),
+                    "--extend-from", str(bare_summary),
+                    "--output", str(tmp_path / "s.json"),
+                ]
+            )
+
+    def test_replayed_packages_are_idempotent(self, split_packages, tmp_path):
+        """Replays must not grow the stored workload or shift the union
+        fingerprint: retrying a delta against the base summary (the
+        partial-failure retry) and replaying a full package against its own
+        summary are both clean no-ops; a delta replayed against the
+        *already-extended* summary is rejected by the fingerprint pin."""
+        base_path, delta_path = split_packages
+        base_summary = tmp_path / "base_summary.json"
+        vendor_main([str(base_path), "--output", str(base_summary)])
+        first = tmp_path / "ext1.json"
+        retried = tmp_path / "ext1_retry.json"
+        vendor_main(
+            [str(delta_path), "--extend-from", str(base_summary), "--output", str(first)]
+        )
+        vendor_main(
+            [str(delta_path), "--extend-from", str(base_summary), "--output", str(retried)]
+        )
+        state1 = DatabaseSummary.load(first).extension_state
+        state_retry = DatabaseSummary.load(retried).extension_state
+        assert state_retry["aqps"] == state1["aqps"]
+        assert state_retry["package_fingerprint"] == state1["package_fingerprint"]
+
+        # Full base package replayed against its own summary: no-op, state
+        # unchanged in size and fingerprint.
+        replay = tmp_path / "replay.json"
+        vendor_main(
+            [str(base_path), "--extend-from", str(base_summary), "--output", str(replay)]
+        )
+        base_state = DatabaseSummary.load(base_summary).extension_state
+        replay_state = DatabaseSummary.load(replay).extension_state
+        assert replay_state["aqps"] == base_state["aqps"]
+        assert replay_state["package_fingerprint"] == base_state["package_fingerprint"]
+
+        # The pin catches a delta applied to the wrong (already-extended)
+        # generation instead of silently re-splicing.
+        with pytest.raises(SystemExit, match="pins base package"):
+            vendor_main(
+                [str(delta_path), "--extend-from", str(first),
+                 "--output", str(tmp_path / "s.json")]
+            )
+
+    def test_mismatched_schema_rejected(self, split_packages, tmp_path):
+        base_path, _delta_path = split_packages
+        base_summary = tmp_path / "base_summary.json"
+        vendor_main([str(base_path), "--output", str(base_summary)])
+        # An anonymised package renames every table: it describes a different
+        # client database and must be rejected up front.
+        anon_path = tmp_path / "anon_package.json"
+        client_main(
+            ["--dataset", "toy", "--queries", "2", "--anonymize",
+             "--output", str(anon_path)]
+        )
+        with pytest.raises(SystemExit, match="not a delta against"):
+            vendor_main(
+                [
+                    str(anon_path),
+                    "--extend-from", str(base_summary),
+                    "--output", str(tmp_path / "s.json"),
+                ]
+            )
+
+    def test_reuse_solutions_needs_extend_from(self, split_packages, tmp_path):
+        base_path, _delta_path = split_packages
+        with pytest.raises(SystemExit):
+            vendor_main(
+                [str(base_path), "--reuse-solutions", "--output", str(tmp_path / "s.json")]
+            )

@@ -6,7 +6,7 @@ import pytest
 
 from repro.client.anonymizer import Anonymizer
 from repro.client.extractor import AQPExtractor, extract_aqps
-from repro.client.package import InformationPackage
+from repro.client.package import DeltaPackage, InformationPackage, load_package_file
 from repro.core.pipeline import Hydra
 from repro.verify.comparator import EdgeComparison, VerificationResult, VolumetricComparator
 from repro.verify.report import (
@@ -78,6 +78,91 @@ class TestInformationPackage:
         package = self._package(toy_database, toy_workload)
         description = package.describe()
         assert "queries" in description and "acme" in description
+
+    def test_save_creates_parent_directories(self, toy_database, toy_workload, tmp_path):
+        package = self._package(toy_database, toy_workload)
+        path = tmp_path / "client" / "outbox" / "package.json"
+        package.save(path)
+        assert InformationPackage.load(path).query_count == package.query_count
+
+    def test_fingerprint_tracks_content(self, toy_database, toy_workload):
+        package = self._package(toy_database, toy_workload)
+        assert package.fingerprint() == self._package(toy_database, toy_workload).fingerprint()
+        smaller = InformationPackage(
+            metadata=package.metadata, aqps=package.aqps[:-1], client_name="acme"
+        )
+        assert smaller.fingerprint() != package.fingerprint()
+
+    def test_fingerprint_ignores_annotations(self, toy_database, toy_workload):
+        """notes/client_name don't change what a summary is built from, so
+        the vendor can re-derive the union fingerprint from the delta alone."""
+        package = self._package(toy_database, toy_workload)
+        annotated = InformationPackage(
+            metadata=package.metadata,
+            aqps=package.aqps,
+            client_name="someone-else",
+            notes="q1 batch",
+        )
+        assert annotated.fingerprint() == package.fingerprint()
+        # Vendor-side union (no notes) matches the client's apply_delta union.
+        base = InformationPackage(
+            metadata=package.metadata, aqps=package.aqps[:-1],
+            client_name="acme", notes="q1 batch",
+        )
+        delta = base.make_delta(package.aqps[-1:])
+        vendor_union = InformationPackage(
+            metadata=package.metadata,
+            aqps=base.aqps + delta.aqps,
+            client_name=delta.client_name,
+        )
+        assert vendor_union.fingerprint() == base.apply_delta(delta).fingerprint()
+
+
+class TestDeltaPackage:
+    def _package(self, toy_database, toy_workload) -> InformationPackage:
+        metadata, aqps = extract_aqps(toy_database, toy_workload)
+        return InformationPackage(metadata=metadata, aqps=aqps, client_name="acme")
+
+    def test_make_and_apply_delta(self, toy_database, toy_workload):
+        package = self._package(toy_database, toy_workload)
+        base = InformationPackage(
+            metadata=package.metadata, aqps=package.aqps[:-1], client_name="acme"
+        )
+        delta = base.make_delta(package.aqps[-1:])
+        assert delta.base_fingerprint == base.fingerprint()
+        assert delta.query_count == 1
+        union = base.apply_delta(delta)
+        assert union.query_count == package.query_count
+        assert [a.name for a in union.aqps] == [a.name for a in package.aqps]
+
+    def test_apply_delta_rejects_wrong_base(self, toy_database, toy_workload):
+        package = self._package(toy_database, toy_workload)
+        base = InformationPackage(
+            metadata=package.metadata, aqps=package.aqps[:-1], client_name="acme"
+        )
+        delta = package.make_delta(package.aqps[-1:])  # pinned to the full package
+        with pytest.raises(ValueError, match="built against base"):
+            base.apply_delta(delta)
+
+    def test_json_roundtrip_and_dispatch(self, toy_database, toy_workload, tmp_path):
+        package = self._package(toy_database, toy_workload)
+        delta = package.make_delta(package.aqps[-1:], notes="nightly batch")
+        path = tmp_path / "delta" / "delta.json"
+        delta.save(path)
+        loaded = load_package_file(path)
+        assert isinstance(loaded, DeltaPackage)
+        assert loaded.base_fingerprint == delta.base_fingerprint
+        assert loaded.notes == "nightly batch"
+        assert "delta package" in loaded.describe()
+
+        full_path = tmp_path / "full.json"
+        package.save(full_path)
+        assert isinstance(load_package_file(full_path), InformationPackage)
+
+    def test_from_dict_rejects_non_delta(self, toy_database, toy_workload):
+        package = self._package(toy_database, toy_workload)
+        with pytest.raises(ValueError, match="not a delta"):
+            DeltaPackage.from_dict(package.to_dict())
 
 
 class TestAnonymizer:

@@ -1,0 +1,478 @@
+"""Incremental summary maintenance (``Hydra.extend_summary``).
+
+The contract under test: a delta workload re-solves **only** the relations it
+touches (directly, or transitively through foreign-key referencing edges);
+the spliced summary matches a from-scratch build of the union workload
+bit-for-bit; untouched relations keep identical summary rows and therefore
+identical regenerated tuple streams; and an empty or redundant delta is a
+complete no-op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.metadata import collect_metadata
+from repro.catalog.schema import Column, Schema, Table
+from repro.catalog.types import INTEGER
+from repro.client.extractor import AQPExtractor
+from repro.core import solver as solver_module
+from repro.core.errors import HydraError, SummaryError
+from repro.core.pipeline import Hydra
+from repro.core.scenario import check_delta_feasibility
+from repro.core.summary import DatabaseSummary
+from repro.storage.database import Database
+from repro.storage.table import TableData
+
+
+@pytest.fixture(scope="module")
+def toy_client(toy_database, toy_metadata, toy_aqps):
+    return toy_database, toy_metadata, list(toy_aqps)
+
+
+def _extract(database, sql, name):
+    return AQPExtractor(database=database).extract_sql(sql, name=name)
+
+
+@pytest.fixture(scope="module")
+def r_only_delta(toy_database):
+    """A delta query constraining only the fact relation R."""
+    return [
+        _extract(
+            toy_database,
+            "select count(*) from R where R.S_fk >= 100 and R.S_fk < 400",
+            "delta_r_count",
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def s_touching_delta(toy_database):
+    """A delta query with a brand-new predicate on the dimension S."""
+    return [
+        _extract(
+            toy_database,
+            "select * from S where S.A >= 15 and S.A < 55",
+            "delta_s_scan",
+        )
+    ]
+
+
+def _solver_call_log(monkeypatch):
+    calls: list[str] = []
+    original = solver_module.LPSolver.solve
+
+    def counting(self, problem, targets=None, warm_start=None):
+        calls.append(problem.relation)
+        return original(self, problem, targets=targets, warm_start=warm_start)
+
+    monkeypatch.setattr(solver_module.LPSolver, "solve", counting)
+    return calls
+
+
+def _materialized(hydra, summary):
+    names = list(summary.relations)
+    database = hydra.regenerate(summary, workers=1, materialize=names)
+    return {name: database.table_data(name) for name in names}
+
+
+def _assert_identical_rows(left, right):
+    assert set(left) == set(right)
+    for name in left:
+        for column in left[name].columns:
+            assert np.array_equal(
+                left[name].columns[column], right[name].columns[column]
+            ), f"{name}.{column} diverged"
+
+
+class TestTouchedRelations:
+    def test_fact_only_delta(self, toy_client, r_only_delta):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        assert hydra.touched_relations(base, r_only_delta) == ["R"]
+
+    def test_dimension_delta_closes_over_referencing_edges(
+        self, toy_client, s_touching_delta
+    ):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        # S is directly touched; R references S and must re-solve; T is not
+        # reachable from S through a referencing edge and stays untouched.
+        assert hydra.touched_relations(base, s_touching_delta) == ["R", "S"]
+
+    def test_duplicate_delta_touches_nothing(self, toy_client):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        assert hydra.touched_relations(base, [aqps[0].copy()]) == []
+
+    def test_result_without_state_is_rejected(self, toy_client):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        from repro.core.pipeline import HydraBuildResult
+
+        bare = HydraBuildResult(summary=base.summary, report=base.report)
+        with pytest.raises(HydraError, match="extension state"):
+            hydra.extend_summary(bare, [])
+
+
+class TestExtendSummary:
+    def test_resolves_only_touched_relations(
+        self, toy_client, r_only_delta, monkeypatch
+    ):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        calls = _solver_call_log(monkeypatch)
+        extended = hydra.extend_summary(base, r_only_delta)
+        # Only R is solved (possibly twice: exact attempt + soft fallback when
+        # the client-side annotation is not exactly representable).
+        assert set(calls) == {"R"}
+        assert extended.report.resolved_relations() == ["R"]
+        assert sorted(extended.report.reused_relations()) == ["S", "T"]
+
+    def test_matches_from_scratch_union_build(self, toy_client, r_only_delta):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        extended = hydra.extend_summary(base, r_only_delta)
+        fresh = hydra.build_summary(aqps + r_only_delta)
+        for name in fresh.summary.relations:
+            assert (
+                fresh.summary.relations[name].to_dict()
+                == extended.summary.relations[name].to_dict()
+            ), f"summary of {name} diverged from the union build"
+        _assert_identical_rows(
+            _materialized(hydra, fresh.summary), _materialized(hydra, extended.summary)
+        )
+
+    def test_transitive_delta_matches_union_build(self, toy_client, s_touching_delta):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        extended = hydra.extend_summary(base, s_touching_delta)
+        fresh = hydra.build_summary(aqps + s_touching_delta)
+        for name in fresh.summary.relations:
+            assert (
+                fresh.summary.relations[name].to_dict()
+                == extended.summary.relations[name].to_dict()
+            )
+        # The warm-started extend must derive exactly the LP a from-scratch
+        # union build formulates — LPProblem.equivalent_to is the structural
+        # ground truth behind the signature-based reuse decisions.
+        for name in ("S", "R"):
+            assert extended.states[name].problem.equivalent_to(
+                fresh.states[name].problem
+            ), f"LP of {name} diverged from the union build"
+        _assert_identical_rows(
+            _materialized(hydra, fresh.summary), _materialized(hydra, extended.summary)
+        )
+
+    def test_untouched_relations_keep_identical_streams(
+        self, toy_client, r_only_delta
+    ):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        extended = hydra.extend_summary(base, r_only_delta)
+        # The untouched summaries are literally shared, making stream
+        # identity structural ...
+        for name in ("S", "T"):
+            assert extended.summary.relations[name] is base.summary.relations[name]
+        # ... and the regenerated rows are verified bit-for-bit regardless.
+        before = _materialized(hydra, base.summary)
+        after = _materialized(hydra, extended.summary)
+        for name in ("S", "T"):
+            for column in before[name].columns:
+                assert np.array_equal(
+                    before[name].columns[column], after[name].columns[column]
+                )
+
+    def test_empty_delta_is_noop(self, toy_client, monkeypatch):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        calls = _solver_call_log(monkeypatch)
+        extended = hydra.extend_summary(base, [])
+        assert calls == []
+        assert extended.summary is base.summary
+        assert extended.summary.version == base.summary.version
+        assert extended.report.resolved_relations() == []
+
+    def test_redundant_delta_is_noop(self, toy_client, monkeypatch):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        calls = _solver_call_log(monkeypatch)
+        extended = hydra.extend_summary(base, [aqps[2].copy()])
+        assert calls == []
+        assert extended.summary is base.summary
+        # Replayed AQPs are dropped by content, so the stored workload (and
+        # with it the persisted extension state and any fingerprint derived
+        # from it) does not grow on retries.
+        assert len(extended.aqps) == len(base.aqps)
+        replayed_whole = hydra.extend_summary(extended, aqps)
+        assert len(replayed_whole.aqps) == len(base.aqps)
+        assert replayed_whole.summary is base.summary
+
+    def test_version_bumped_on_splice(self, toy_client, r_only_delta):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        assert base.summary.version == 1
+        extended = hydra.extend_summary(base, r_only_delta)
+        assert extended.summary.version == 2
+        assert extended.summary.build_info["extended"] is True
+        assert extended.summary.build_info["resolved_relations"] == ["R"]
+
+    def test_repeated_extension(self, toy_client, r_only_delta, s_touching_delta):
+        """Two successive deltas equal one from-scratch build of the union."""
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        step1 = hydra.extend_summary(hydra.build_summary(aqps), r_only_delta)
+        step2 = hydra.extend_summary(step1, s_touching_delta)
+        fresh = hydra.build_summary(aqps + r_only_delta + s_touching_delta)
+        assert step2.summary.version == 3
+        for name in fresh.summary.relations:
+            assert (
+                fresh.summary.relations[name].to_dict()
+                == step2.summary.relations[name].to_dict()
+            )
+
+    def test_warm_start_partition_on_appended_predicates(
+        self, toy_client, r_only_delta
+    ):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        extended = hydra.extend_summary(base, r_only_delta)
+        # R has no tracking predicates, so the delta strictly appends boxes
+        # and the partition resumes from the checkpoint.
+        assert extended.report.relations["R"].warm_start
+
+    def test_warm_start_engages_for_tracking_bearing_relation(
+        self, toy_client, s_touching_delta
+    ):
+        """A new constraint box lands *between* the grounded and tracking
+        groups, so the final checkpoint is no prefix — the grounded-boundary
+        checkpoint keeps the resume engaged for S (which carries borrowed
+        tracking predicates from the join queries)."""
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        assert base.states["S"].tracking_signature  # S does carry tracking
+        extended = hydra.extend_summary(base, s_touching_delta)
+        assert extended.report.relations["S"].warm_start
+
+
+class TestSpliceAndState:
+    def test_splice_rejects_unknown_relation(self, toy_client):
+        _db, metadata, aqps = toy_client
+        summary = Hydra(metadata=metadata).build_summary(aqps).summary
+        with pytest.raises(SummaryError, match="unknown relation"):
+            summary.splice({"nope": summary.relations["R"]})
+
+    def test_splice_rejects_mismatched_table(self, toy_client):
+        _db, metadata, aqps = toy_client
+        summary = Hydra(metadata=metadata).build_summary(aqps).summary
+        with pytest.raises(SummaryError, match="summarises"):
+            summary.splice({"R": summary.relations["S"]})
+
+    def test_restore_result_roundtrips_through_json(self, toy_client, r_only_delta):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        base.attach_extension_state("fingerprint-1")
+        reloaded = DatabaseSummary.from_json(base.summary.to_json())
+        assert reloaded.extension_state["package_fingerprint"] == "fingerprint-1"
+        restored = hydra.restore_result(reloaded)
+        extended = hydra.extend_summary(restored, r_only_delta)
+        fresh = hydra.build_summary(aqps + r_only_delta)
+        for name in fresh.summary.relations:
+            assert (
+                fresh.summary.relations[name].to_dict()
+                == extended.summary.relations[name].to_dict()
+            )
+
+    def test_restore_without_state_raises(self, toy_client):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        with pytest.raises(HydraError, match="no extension state"):
+            hydra.restore_result(base.summary)
+
+    def test_restore_detects_row_count_drift(self, toy_client):
+        """The restored diffing baseline is the row count the summary was
+        *built* for: a vendor session whose metadata reports a different
+        size must see the relation as touched, not silently reuse it."""
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        base.attach_extension_state()
+        reloaded = DatabaseSummary.from_json(base.summary.to_json())
+
+        drifted = Hydra(
+            metadata=metadata,
+            row_count_overrides={"R": 2 * metadata.row_count("R")},
+        )
+        restored = drifted.restore_result(reloaded)
+        assert restored.states["R"].row_count == metadata.row_count("R")
+        assert "R" in drifted.touched_relations(restored, [])
+        # The un-drifted hydra sees nothing to do.
+        assert hydra.touched_relations(hydra.restore_result(reloaded), []) == []
+
+    def test_extension_state_excluded_from_size(self, toy_client):
+        _db, metadata, aqps = toy_client
+        base = Hydra(metadata=metadata).build_summary(aqps)
+        before = base.summary.size_bytes()
+        base.attach_extension_state()
+        assert base.summary.size_bytes() == before
+
+
+class TestWarmSolutionReuse:
+    @pytest.fixture()
+    def single_relation_client(self):
+        schema = Schema.from_tables(
+            [
+                Table(
+                    name="U",
+                    columns=[Column("U_pk", INTEGER), Column("X", INTEGER)],
+                    primary_key="U_pk",
+                )
+            ]
+        )
+        data = TableData.from_columns(
+            schema.table("U"),
+            {
+                "U_pk": np.arange(100, dtype=np.int64),
+                "X": np.arange(100, dtype=np.int64),
+            },
+        )
+        database = Database.from_table_data(schema, [data])
+        return database, collect_metadata(database)
+
+    def test_previous_solution_reused_when_still_feasible(
+        self, single_relation_client, monkeypatch
+    ):
+        database, metadata = single_relation_client
+        base_aqp = _extract(
+            database, "select count(*) from U where U.X >= 0 and U.X < 50", "u_low"
+        )
+        # The complementary predicate: its true count equals what the base
+        # solution already assigns, and its box splits no region.
+        delta_aqp = _extract(
+            database, "select count(*) from U where U.X >= 50", "u_high"
+        )
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary([base_aqp])
+
+        def boom(*_args, **_kwargs):  # pragma: no cover - defensive
+            raise AssertionError("LP backend must not run on a warm-reused solve")
+
+        monkeypatch.setattr(solver_module, "_scipy_linprog", boom)
+        extended = hydra.extend_summary(
+            base, [delta_aqp], reuse_feasible_solutions=True
+        )
+        info = extended.report.relations["U"]
+        assert info.status == "warm-reused"
+        assert info.warm_start
+        assert info.max_relative_error == 0.0
+        assert extended.summary.row_count("U") == 100
+
+    def test_without_flag_the_solver_runs(self, single_relation_client):
+        database, metadata = single_relation_client
+        base_aqp = _extract(
+            database, "select count(*) from U where U.X >= 0 and U.X < 50", "u_low"
+        )
+        delta_aqp = _extract(
+            database, "select count(*) from U where U.X >= 50", "u_high"
+        )
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary([base_aqp])
+        extended = hydra.extend_summary(base, [delta_aqp])
+        assert extended.report.relations["U"].status != "warm-reused"
+
+
+class TestIncrementalFeasibility:
+    def test_consistent_delta_is_feasible(self, toy_client):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        # Annotate the delta against the *regenerated* database: its counts
+        # live in the vendor's pk-index space and are witnessed by the
+        # current solution, so the extension must be exactly feasible.
+        regenerated = hydra.regenerate(
+            base.summary, workers=1, materialize=list(base.summary.relations)
+        )
+        delta = _extract(
+            regenerated,
+            "select count(*) from R where R.S_fk >= 100 and R.S_fk < 400",
+            "delta_r_consistent",
+        )
+        report = check_delta_feasibility(hydra, base, [delta])
+        assert report.feasible
+        assert report.max_relative_error <= 0.01
+
+    def test_probe_inherits_row_count_overrides(self, toy_client, monkeypatch):
+        """A base built with scaled row counts is probed with the same
+        scaling — only the delta's touched relations are soft-solved, not
+        every relation (which a config mismatch would silently cause)."""
+        _db, metadata, aqps = toy_client
+        overrides = {"R": 2 * metadata.row_count("R")}
+        hydra = Hydra(metadata=metadata, row_count_overrides=overrides)
+        base = hydra.build_summary(aqps)
+        regenerated = hydra.regenerate(
+            base.summary, workers=1, materialize=list(base.summary.relations)
+        )
+        delta = [
+            _extract(
+                regenerated,
+                "select count(*) from R where R.S_fk >= 100 and R.S_fk < 400",
+                "delta_r_scaled",
+            )
+        ]
+        calls = _solver_call_log(monkeypatch)
+        report = check_delta_feasibility(hydra, base, delta)
+        assert set(calls) == {"R"}
+        assert report.feasible
+
+    def test_probe_never_mutates_the_base_summary(self, toy_client, s_touching_delta):
+        """The soft probe splices fresh relation summaries and runs the
+        referential pass only over them — the base build's shared row
+        objects must come out bit-identical, however often it is probed."""
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        snapshot = {
+            name: relation.to_dict()
+            for name, relation in base.summary.relations.items()
+        }
+        for _ in range(2):
+            check_delta_feasibility(hydra, base, s_touching_delta)
+        for name, payload in snapshot.items():
+            assert base.summary.relations[name].to_dict() == payload, name
+
+    def test_contradictory_injection_is_flagged(self, toy_client, toy_database):
+        _db, metadata, aqps = toy_client
+        hydra = Hydra(metadata=metadata)
+        base = hydra.build_summary(aqps)
+        # Inject an impossible annotation: more matching tuples than rows.
+        bad = _extract(
+            toy_database,
+            "select count(*) from R where R.S_fk >= 100 and R.S_fk < 400",
+            "delta_bad",
+        )
+        overrides = {
+            index: 10 * metadata.row_count("R")
+            for index, node in enumerate(bad.plan.iter_nodes())
+            if node.cardinality is not None
+        }
+        bad = bad.inject_annotations(overrides)
+        report = check_delta_feasibility(hydra, base, [bad])
+        assert not report.feasible
+        assert report.issues
+        assert all(issue.relation == "R" for issue in report.issues)

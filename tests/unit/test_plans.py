@@ -9,7 +9,6 @@ from repro.plans.logical import (
     AggregateNode,
     FilterNode,
     JoinNode,
-    PlanNode,
     ProjectNode,
     ScanNode,
     plan_from_dict,

@@ -541,7 +541,7 @@ class TestSatelliteRegressions:
         database = hydra.regenerate(result.summary, rate_limiter=limiter)
         limiters = [database.provider(name).rate_limiter for name in database]
         assert len(set(map(id, limiters))) == len(limiters)
-        assert all(l is not limiter for l in limiters)
+        assert all(clone is not limiter for clone in limiters)
         # Draining one relation must not affect another relation's budget.
         database.provider("S").fetch_columns(["S_pk"])
         assert database.provider("T").rate_limiter.rows_produced == 0

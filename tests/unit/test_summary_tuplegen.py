@@ -177,6 +177,11 @@ class TestDatabaseSummary:
     def test_size_excludes_schema_by_default(self, summary):
         assert summary.size_bytes() < summary.size_bytes(include_schema=True)
 
+    def test_save_creates_parent_directories(self, summary, tmp_path):
+        path = tmp_path / "vendor" / "artifacts" / "summary.json"
+        summary.save(path)
+        assert DatabaseSummary.load(path).row_count("fact") == 150
+
 
 class TestTupleGenerator:
     def test_row_count_and_columns(self, summary, schema):

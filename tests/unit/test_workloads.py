@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.catalog.metadata import collect_metadata
 from repro.plans.planner import build_plan
 from repro.workload.generator import (
     WorkloadConfig,
@@ -16,8 +15,8 @@ from repro.workload.generator import (
     workload_signature,
 )
 from repro.workload.toy import FIGURE1_QUERY, ToyConfig, generate_toy_database, toy_schema
-from repro.workload.tpcds import TPCDSConfig, generate_tpcds_database, tpcds_schema
-from repro.workload.tpch import TPCHConfig, generate_tpch_database, tpch_schema
+from repro.workload.tpcds import TPCDSConfig, tpcds_schema
+from repro.workload.tpch import TPCHConfig, tpch_schema
 from repro.sql.parser import parse_query
 
 
@@ -124,7 +123,6 @@ class TestWorkloadGenerator:
             assert plan.output_tables() == set(query.tables)
 
     def test_star_join_structure(self, tpcds_metadata, tpcds_workload):
-        schema = tpcds_metadata.schema
         fact_names = {"store_sales", "web_sales", "catalog_sales"}
         for query in tpcds_workload:
             facts = [t for t in query.tables if t in fact_names]
