@@ -52,6 +52,16 @@ from .executor import (
 )
 from .parallel import Shard, ShardPlan, default_workers
 from .plans import AnnotatedQueryPlan, build_plan
+from .sinks import (
+    CsvSink,
+    Manifest,
+    ParquetSink,
+    Sink,
+    SqliteSink,
+    export_summary,
+    sink_for_format,
+    verify_export,
+)
 from .sql import Query, parse_query
 from .storage import Database, TableData
 from .verify import QualityReport, VerificationResult, VolumetricComparator
@@ -73,6 +83,7 @@ __all__ = [
     "AnnotatedQueryPlan",
     "Anonymizer",
     "Column",
+    "CsvSink",
     "DataGenRelation",
     "Database",
     "DatabaseMetadata",
@@ -83,7 +94,9 @@ __all__ = [
     "HydraBuildResult",
     "InfeasibleConstraintsError",
     "InformationPackage",
+    "Manifest",
     "ParallelDataGenRelation",
+    "ParquetSink",
     "QualityReport",
     "Query",
     "RateLimiter",
@@ -91,6 +104,8 @@ __all__ = [
     "Schema",
     "Shard",
     "ShardPlan",
+    "Sink",
+    "SqliteSink",
     "SummaryBuildReport",
     "TPCDSConfig",
     "TPCHConfig",
@@ -107,6 +122,7 @@ __all__ = [
     "check_feasibility",
     "collect_metadata",
     "default_workers",
+    "export_summary",
     "extract_aqps",
     "generate_toy_database",
     "generate_tpcds_database",
@@ -114,5 +130,7 @@ __all__ = [
     "generate_workload",
     "grid_variable_count",
     "parse_query",
+    "sink_for_format",
+    "verify_export",
     "__version__",
 ]

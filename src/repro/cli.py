@@ -7,14 +7,20 @@ Four entry points mirror the demo's flow:
 * ``hydra-client`` — the client step on its own: given a built-in dataset
   name, profile metadata, extract AQPs and (optionally) anonymise;
 * ``hydra-vendor`` — the vendor step: read an information package, build the
-  regeneration summary, print the build report and save the summary;
+  regeneration summary, print the build report and save the summary.  With
+  ``--materialize`` plus ``--format {csv,sqlite,parquet} --out DIR`` the
+  regenerated relations are additionally *exported* through a streaming
+  sink (``repro.sinks``) into a directory any database client can open;
 * ``hydra-verify`` — regenerate a database from a summary and verify
-  volumetric similarity against the package's AQPs.
+  volumetric similarity against the package's AQPs, or — with ``--against
+  EXPORT_DIR`` — validate a previously written export against its summary
+  from the export's ``MANIFEST.json`` without regenerating tuples.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -28,6 +34,13 @@ from .core.pipeline import Hydra
 from .core.summary import DatabaseSummary
 from .core.tuplegen import SummaryDatabaseFactory
 from .executor.rate import RateLimiter
+from .sinks import (
+    EXPORT_FORMATS,
+    export_summary,
+    parquet_available,
+    sink_for_format,
+    verify_export,
+)
 from .verify.comparator import VolumetricComparator
 from .verify.report import (
     format_build_report,
@@ -51,6 +64,18 @@ def _build_database(dataset: str, scale: float, seed: int):
     if dataset == "toy":
         return generate_toy_database(ToyConfig(seed=seed))
     raise SystemExit(f"unknown dataset {dataset!r}; choose from tpcds, tpch, toy")
+
+
+def _ensure_writable_directory(parser: argparse.ArgumentParser, path: Path) -> None:
+    """Fail fast (before any solving) when ``--out`` cannot receive an export."""
+    if path.exists() and not path.is_dir():
+        parser.error(f"--out {path} exists and is not a directory")
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        parser.error(f"--out {path} cannot be created: {exc}")
+    if not os.access(path, os.W_OK):
+        parser.error(f"--out {path} is not writable")
 
 
 def _build_package(dataset: str, scale: float, seed: int, queries: int) -> InformationPackage:
@@ -135,13 +160,25 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
         "a from-scratch build of the union workload)",
     )
     parser.add_argument(
-        "--materialize", type=str, default=None, metavar="REL[,REL...]",
-        help="after the build, eagerly regenerate these relations and report "
-        "tuple throughput (a smoke test of the summary's generation speed)",
+        "--materialize", type=str, default=None, metavar="REL[,REL...]|all",
+        help="after the build, eagerly regenerate these relations ('all' for "
+        "every relation) and report tuple throughput; with --format/--out the "
+        "regenerated streams are exported to disk instead of counted in memory",
+    )
+    parser.add_argument(
+        "--format", dest="export_format", default=None, choices=list(EXPORT_FORMATS),
+        help="export backend for the --materialize streams (requires --out); "
+        "csv and sqlite are stdlib-only, parquet needs the optional pyarrow",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="DIR",
+        help="export directory for --format (created if missing; a "
+        "MANIFEST.json with row counts and content checksums is written "
+        "alongside the data files for hydra-verify --against)",
     )
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="worker processes for the --materialize regeneration "
+        help="worker processes for the --materialize regeneration/export "
         "(default: REPRO_WORKERS or serial; output is bit-identical)",
     )
     parser.add_argument("--output", type=Path, default=Path("summary.json"))
@@ -156,12 +193,39 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
                 names.append(name)
         if not names:
             parser.error("--materialize needs at least one relation name")
+    materialize_all = names == ["all"]
+    if "all" in names and not materialize_all:
+        parser.error("--materialize 'all' cannot be combined with relation names")
     if args.workers is not None and not names:
         parser.error("--workers only applies to the --materialize regeneration")
     if args.reuse_solutions and args.extend_from is None:
         parser.error("--reuse-solutions only applies together with --extend-from")
+    # Export arguments are validated *before* any solving starts: a typo in
+    # the format (argparse choices above), a missing/unwritable output
+    # directory, a missing optional dependency or an unknown relation name
+    # must not cost the user a full summary build first.
+    if (args.export_format is None) != (args.out is None):
+        parser.error("--format and --out must be given together")
+    if args.export_format is not None and not names:
+        parser.error("--format/--out export the --materialize relations; "
+                     "pass --materialize REL[,REL...] or --materialize all")
+    if args.export_format == "parquet" and not parquet_available():
+        parser.error("--format parquet requires the optional 'pyarrow' "
+                     "dependency, which is not installed; use csv or sqlite")
+    if args.out is not None:
+        _ensure_writable_directory(parser, args.out)
 
     loaded = load_package_file(args.package)
+    if names and not materialize_all:
+        known_tables = set(loaded.metadata.schema.table_names)
+        unknown = sorted(set(names) - known_tables)
+        if unknown:
+            parser.error(
+                "unknown --materialize relation(s) "
+                + ", ".join(repr(name) for name in unknown)
+                + "; the package describes: "
+                + ", ".join(sorted(known_tables))
+            )
     hydra = Hydra(metadata=loaded.metadata, mode=args.mode, alignment=args.alignment)
 
     if args.extend_from is not None:
@@ -230,7 +294,27 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
     print(format_summary_table(result.summary))
     print(f"wrote {args.output}")
 
-    if names:
+    if names and materialize_all:
+        names = list(result.summary.relations)
+    workers_label = args.workers if args.workers is not None else "REPRO_WORKERS/serial"
+    if args.export_format is not None:
+        try:
+            sink = sink_for_format(args.export_format, args.out)
+            start = time.perf_counter()
+            manifest = export_summary(
+                result.summary, sink, relations=names, workers=args.workers
+            )
+            elapsed = time.perf_counter() - start
+        except HydraError as exc:
+            raise SystemExit(str(exc))
+        rows = manifest.total_rows()
+        rate = rows / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"exported {', '.join(names)} to {args.out} ({args.export_format}): "
+            f"{rows:,} rows in {elapsed:.3f}s ({rate:,.0f} rows/s, "
+            f"workers={workers_label}); manifest: {args.out / 'MANIFEST.json'}"
+        )
+    elif names:
         try:
             start = time.perf_counter()
             database = hydra.regenerate(
@@ -241,22 +325,34 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
             raise SystemExit(str(exc))
         rows = sum(database.row_count(name) for name in names)
         rate = rows / elapsed if elapsed > 0 else float("inf")
-        workers = args.workers if args.workers is not None else "REPRO_WORKERS/serial"
         print(
             f"materialized {', '.join(names)}: {rows:,} rows in {elapsed:.3f}s "
-            f"({rate:,.0f} rows/s, workers={workers})"
+            f"({rate:,.0f} rows/s, workers={workers_label})"
         )
     return 0
 
 
 def verify_main(argv: Sequence[str] | None = None) -> int:
-    """Regenerate from a summary and verify volumetric similarity."""
+    """Regenerate from a summary and verify volumetric similarity.
+
+    With ``--against EXPORT_DIR`` the volumetric run is replaced by export
+    validation: the directory's ``MANIFEST.json`` is checked against the
+    summary (fingerprint, per-relation row counts) and the backend files
+    are re-read and re-hashed — no tuple is regenerated.
+    """
     parser = argparse.ArgumentParser(
         prog="hydra-verify",
-        description="Verify volumetric similarity of a regenerated database.",
+        description="Verify volumetric similarity of a regenerated database, "
+        "or validate an export directory against its summary (--against).",
     )
     parser.add_argument("package", type=Path, help="information package JSON")
     parser.add_argument("summary", type=Path, help="database summary JSON")
+    parser.add_argument(
+        "--against", type=Path, default=None, metavar="EXPORT_DIR",
+        help="validate this export directory (written by hydra-vendor "
+        "--format/--out) against the summary: manifest fingerprint, row "
+        "counts and content checksums, without regenerating tuples",
+    )
     parser.add_argument(
         "--rows-per-second", type=float, default=None,
         help="pace each regenerated relation's stream at this rate "
@@ -278,9 +374,35 @@ def verify_main(argv: Sequence[str] | None = None) -> int:
         "limits pace the merged stream)",
     )
     args = parser.parse_args(argv)
+    if args.against is not None:
+        for flag, inapplicable in (
+            ("--rows-per-second", args.rows_per_second is not None),
+            ("--sample", args.sample is not None),
+            ("--workers", args.workers is not None),
+            ("--shared-rate-limit", args.shared_rate_limit),
+        ):
+            if inapplicable:
+                parser.error(f"{flag} does not apply to --against export validation")
 
     package = InformationPackage.load(args.package)
     summary = DatabaseSummary.load(args.summary)
+
+    if args.against is not None:
+        package_tables = sorted(package.metadata.schema.table_names)
+        summary_tables = sorted(summary.schema.table_names)
+        if package_tables != summary_tables:
+            raise SystemExit(
+                f"summary describes relations {', '.join(summary_tables)} but "
+                f"the package describes {', '.join(package_tables)}; they do "
+                "not belong to the same client database"
+            )
+        try:
+            validation = verify_export(summary, args.against)
+        except HydraError as exc:
+            raise SystemExit(str(exc))
+        print(validation.describe())
+        return 0 if validation.ok else 1
+
     hydra = Hydra(metadata=package.metadata)
     limiter = (
         RateLimiter(rows_per_second=args.rows_per_second)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable, Literal, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Literal, Mapping, Sequence
 
 import numpy as np
 
@@ -49,12 +49,16 @@ from .solver import LPSolution, LPSolver
 from .summary import DatabaseSummary, RelationSummary
 from .tuplegen import SummaryDatabaseFactory, TupleGenerator
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (sinks imports this module)
+    from ..sinks.base import Sink
+
 __all__ = [
     "RelationBuildInfo",
     "RelationBuildState",
     "SummaryBuildReport",
     "HydraBuildResult",
     "Hydra",
+    "summary_relation_providers",
 ]
 
 EXTENSION_STATE_VERSION = 1
@@ -102,17 +106,21 @@ class SummaryBuildReport:
     referential: ReferentialReport = field(default_factory=ReferentialReport)
 
     def total_lp_variables(self) -> int:
+        """Total LP variables (= regions) across all relations."""
         return sum(info.num_regions for info in self.relations.values())
 
     def total_grid_variables(self) -> int:
+        """Total grid-baseline variables (0 for relations without a baseline)."""
         return sum(
             info.grid_variables or 0 for info in self.relations.values()
         )
 
     def total_constraints(self) -> int:
+        """Total cardinality constraints across all relations."""
         return sum(info.num_constraints for info in self.relations.values())
 
     def max_relative_error(self) -> float:
+        """Worst per-relation residual error of the build (0.0 when empty)."""
         if not self.relations:
             return 0.0
         return max(info.max_relative_error for info in self.relations.values())
@@ -126,6 +134,7 @@ class SummaryBuildReport:
         return [name for name, info in self.relations.items() if info.reused]
 
     def describe(self) -> str:
+        """Render the per-relation build table (the demo's LP statistics view)."""
         lines = [
             f"{'relation':<20} {'rows':>12} {'constraints':>12} {'regions':>9} "
             f"{'grid vars':>14} {'solve (s)':>10} {'max rel err':>12}"
@@ -176,6 +185,7 @@ class RelationBuildState:
 
     @property
     def partition_boxes(self) -> tuple[BoxCondition, ...]:
+        """The full box sequence the relation's partition was built from."""
         return self.checkpoint.boxes
 
 
@@ -198,6 +208,7 @@ class HydraBuildResult:
     states: dict[str, RelationBuildState] = field(default_factory=dict)
 
     def size_bytes(self) -> int:
+        """Serialised size of the built summary (the "few KB" metric)."""
         return self.summary.size_bytes()
 
     @property
@@ -569,6 +580,7 @@ class Hydra:
         shared_rate_limiter: bool = False,
         workers: int | None = None,
         min_parallel_rows: int | None = None,
+        sink: "Sink | None" = None,
     ) -> Database:
         """Create a (mostly dataless) database from a summary.
 
@@ -578,6 +590,18 @@ class Hydra:
         Names that are not relations of ``summary`` raise
         :class:`~repro.core.errors.HydraError` (listing every bad name)
         instead of being silently ignored.
+
+        ``sink`` additionally streams **every** relation's regenerated block
+        stream through a :class:`~repro.sinks.base.Sink` (CSV, SQLite,
+        Parquet, ...), writing a deployable export without ever holding a
+        relation in memory; the sink is finalized (its ``MANIFEST.json``
+        written) before this method returns.  The export drain runs on its
+        own provider set — with per-relation limiter clones it does not
+        consume the attached providers' rate budget, so query-time pacing is
+        unaffected (under ``shared_rate_limiter=True`` the export draws from
+        the one global budget, as every stream does).  Use
+        :func:`repro.sinks.export_summary` when only the export — not the
+        queryable :class:`~repro.storage.database.Database` — is needed.
 
         ``workers`` > 1 attaches
         :class:`~repro.executor.datagen.ParallelDataGenRelation` providers
@@ -612,38 +636,35 @@ class Hydra:
                 + "; summary has: "
                 + ", ".join(repr(name) for name in sorted(summary.relations))
             )
-        resolved_workers = default_workers() if workers is None else max(1, int(workers))
-        resolved_min_rows = (
-            default_min_parallel_rows(batch_size, resolved_workers)
-            if min_parallel_rows is None
-            else max(0, int(min_parallel_rows))
-        )
-        factory = SummaryDatabaseFactory(summary=summary)
+        if sink is not None:
+            # Imported lazily: repro.sinks imports this module at package
+            # init, so a module-level import back would be circular.  The
+            # export drives its *own* providers (per-relation limiter clones,
+            # or the caller's single limiter under shared_rate_limiter), so
+            # the providers attached below start with fresh pacing state —
+            # query-time streams are throttled exactly as without a sink.
+            from ..sinks.export import export_summary
+
+            export_summary(
+                summary,
+                sink,
+                rate_limiter=rate_limiter,
+                batch_size=batch_size,
+                shared_rate_limiter=shared_rate_limiter,
+                workers=workers,
+                min_parallel_rows=min_parallel_rows,
+            )
         database = Database(schema=summary.schema, providers={})
-        for table_name in summary.relations:
-            generator = factory.generator(table_name)
-            if rate_limiter is None:
-                limiter = RateLimiter.unlimited()
-            elif shared_rate_limiter:
-                limiter = rate_limiter
-            else:
-                limiter = rate_limiter.clone()
-            if resolved_workers > 1:
-                relation: DataGenRelation = ParallelDataGenRelation(
-                    source=generator,
-                    rate_limiter=limiter,
-                    batch_size=batch_size,
-                    workers=resolved_workers,
-                    min_parallel_rows=resolved_min_rows,
-                )
-            else:
-                relation = DataGenRelation(
-                    source=generator,
-                    rate_limiter=limiter,
-                    batch_size=batch_size,
-                )
+        for table_name, relation in summary_relation_providers(
+            summary,
+            rate_limiter=rate_limiter,
+            batch_size=batch_size,
+            shared_rate_limiter=shared_rate_limiter,
+            workers=workers,
+            min_parallel_rows=min_parallel_rows,
+        ):
+            table = summary.schema.table(table_name)
             if table_name in materialize_set:
-                table = summary.schema.table(table_name)
                 database.attach(table_name, MaterializedRelation(relation.materialize(table)))
             else:
                 database.attach(table_name, relation)
@@ -1062,8 +1083,11 @@ class Hydra:
     def _domain_box(
         self, table: Table, aligned: Mapping[str, AlignedRelation]
     ) -> BoxCondition:
-        """Domain bounds per column: statistics for value columns, pk-index
-        range of the referenced relation for foreign-key columns."""
+        """Domain bounds of every column of ``table``.
+
+        Value columns are bounded by the client statistics; foreign-key
+        columns by the pk-index range of the referenced relation.
+        """
         conditions: dict[str, IntervalSet] = {}
         statistics = self.metadata.statistics.get(table.name)
         for column in table.columns:
@@ -1087,6 +1111,62 @@ class Hydra:
             padding = 1.0 if column.dtype.is_discrete else max(abs(high), 1.0) * 1e-9
             conditions[column.name] = IntervalSet([Interval(low, high + padding)])
         return BoxCondition(conditions)
+
+
+def summary_relation_providers(
+    summary: DatabaseSummary,
+    rate_limiter: RateLimiter | None = None,
+    batch_size: int = 8192,
+    shared_rate_limiter: bool = False,
+    workers: int | None = None,
+    min_parallel_rows: int | None = None,
+    relations: Iterable[str] | None = None,
+) -> Iterator[tuple[str, DataGenRelation]]:
+    """Yield one configured ``datagen`` provider per relation of ``summary``.
+
+    This is the single place regeneration consumers (``Hydra.regenerate``,
+    the streaming export driver :func:`repro.sinks.export_summary`) build
+    their relation providers, so worker, batching and rate-limiting
+    semantics can never drift between the queryable database and an export.
+    Relations are yielded in summary order, restricted to ``relations`` when
+    given (no provider is constructed for unselected ones);
+    ``workers``/``min_parallel_rows`` default from the environment exactly
+    like :meth:`Hydra.regenerate` (``None`` consults ``REPRO_WORKERS`` and
+    the platform default).
+    """
+    resolved_workers = default_workers() if workers is None else max(1, int(workers))
+    resolved_min_rows = (
+        default_min_parallel_rows(batch_size, resolved_workers)
+        if min_parallel_rows is None
+        else max(0, int(min_parallel_rows))
+    )
+    selected = None if relations is None else set(relations)
+    factory = SummaryDatabaseFactory(summary=summary)
+    for table_name in summary.relations:
+        if selected is not None and table_name not in selected:
+            continue
+        generator = factory.generator(table_name)
+        if rate_limiter is None:
+            limiter = RateLimiter.unlimited()
+        elif shared_rate_limiter:
+            limiter = rate_limiter
+        else:
+            limiter = rate_limiter.clone()
+        if resolved_workers > 1:
+            relation: DataGenRelation = ParallelDataGenRelation(
+                source=generator,
+                rate_limiter=limiter,
+                batch_size=batch_size,
+                workers=resolved_workers,
+                min_parallel_rows=resolved_min_rows,
+            )
+        else:
+            relation = DataGenRelation(
+                source=generator,
+                rate_limiter=limiter,
+                batch_size=batch_size,
+            )
+        yield table_name, relation
 
 
 def constraint_count(constraints: Iterable[CardinalityConstraint]) -> int:

@@ -17,6 +17,7 @@ its serialised size is the "few KB" metric of experiment E1.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
@@ -440,11 +441,13 @@ class DatabaseSummary(JsonDocument):
     extension_state: dict[str, Any] | None = None
 
     def relation(self, name: str) -> RelationSummary:
+        """The summary of one relation (:class:`SummaryError` when absent)."""
         if name not in self.relations:
             raise SummaryError(f"summary has no relation {name!r}")
         return self.relations[name]
 
     def add_relation(self, summary: RelationSummary) -> None:
+        """Attach (or replace) one relation summary under its table name."""
         self.relations[summary.table] = summary
 
     def splice(self, replacements: Mapping[str, RelationSummary]) -> "DatabaseSummary":
@@ -478,12 +481,15 @@ class DatabaseSummary(JsonDocument):
         )
 
     def row_count(self, name: str) -> int:
+        """Number of tuples relation ``name`` regenerates."""
         return self.relation(name).total_rows
 
     def total_rows(self) -> int:
+        """Total regenerable tuples across all relations."""
         return sum(summary.total_rows for summary in self.relations.values())
 
     def total_summary_rows(self) -> int:
+        """Total stored summary rows (the artefact's actual size driver)."""
         return sum(len(summary.rows) for summary in self.relations.values())
 
     def validate(self) -> None:
@@ -554,6 +560,25 @@ class DatabaseSummary(JsonDocument):
         excluded = {"extension_state"} | (set() if include_schema else {"schema"})
         payload = {key: value for key, value in payload.items() if key not in excluded}
         return len(json.dumps(payload).encode("utf-8"))
+
+    def fingerprint(self) -> str:
+        """Content hash identifying the regeneration-relevant summary state.
+
+        The sha256 hex digest of the canonical JSON serialisation of the
+        schema, every relation's summary rows and ``version`` — exactly what
+        determines the regenerated tuple streams.  Descriptive
+        ``build_info`` (which records wall-clock timings, so two builds of
+        the same summary would differ) and vendor-side ``extension_state``
+        are excluded: rebuilding an identical summary yields an identical
+        fingerprint.  Exports record this value in their ``MANIFEST.json``
+        so ``hydra-verify --against`` can pin an export directory to the
+        summary content that produced it.
+        """
+        payload = self.to_dict()
+        payload.pop("extension_state", None)
+        payload.pop("build_info", None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def summary_size_report(summary: DatabaseSummary) -> list[tuple[str, int, int]]:

@@ -1,0 +1,63 @@
+"""CSV materialization backend (stdlib ``csv``): one file per relation."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import IO, Mapping
+
+import numpy as np
+
+from ..catalog.schema import Table
+from .base import Sink, external_columns
+
+__all__ = ["CsvSink"]
+
+
+class CsvSink(Sink):
+    """Write each relation as ``<relation>.csv`` with a header row.
+
+    Values are exported in their external representation (see
+    :func:`repro.sinks.base.external_columns`): integers and floats as
+    their shortest round-tripping decimal form, dates as ISO-8601 strings,
+    dictionary-encoded strings decoded.  Rows are appended block by block,
+    so peak memory stays bounded by the batch size.
+    """
+
+    format_name = "csv"
+
+    def __init__(self, out_dir):
+        """Create the sink rooted at ``out_dir`` (created if missing)."""
+        super().__init__(out_dir)
+        self._handle: IO[str] | None = None
+        self._writer: "csv._writer | None" = None
+
+    @staticmethod
+    def relation_path(out_dir: str | Path, table_name: str) -> Path:
+        """The CSV file one relation exports to."""
+        return Path(out_dir) / f"{table_name}.csv"
+
+    def _backend_open(self, table: Table) -> None:
+        self._handle = self.relation_path(self.out_dir, table.name).open(
+            "w", newline="", encoding="utf-8"
+        )
+        self._writer = csv.writer(self._handle, lineterminator="\n")
+        self._writer.writerow(table.column_names)
+
+    def _backend_write(self, table: Table, block: Mapping[str, np.ndarray]) -> None:
+        assert self._writer is not None
+        decoded = external_columns(table, block)
+        self._writer.writerows(zip(*(decoded[name] for name in table.column_names)))
+
+    def _backend_close(self, table: Table) -> list[str]:
+        assert self._handle is not None
+        self._handle.close()
+        self._handle = None
+        self._writer = None
+        return [f"{table.name}.csv"]
+
+    def _backend_abort(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._writer = None

@@ -1,0 +1,346 @@
+"""Streaming export driver and manifest-based export verification.
+
+:func:`export_summary` drives the (optionally parallel, merged) regenerated
+block stream of every relation through a :class:`~repro.sinks.base.Sink`
+without ever materialising a relation, and seals the export with its
+``MANIFEST.json``.
+
+:func:`verify_export` is the inverse check used by ``hydra-verify
+--against``: given a summary and an export directory, it validates the
+manifest's summary fingerprint and per-relation row counts, then re-reads
+the backend files (CSV / SQLite / Parquet), re-encodes the external values
+through the schema types and recomputes the content checksums — proving the
+export byte-stream matches what the summary regenerates, **without
+regenerating a single tuple**.
+"""
+
+from __future__ import annotations
+
+import csv
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..catalog.schema import Table
+from ..core.errors import HydraError
+from ..core.pipeline import summary_relation_providers
+from ..core.summary import DatabaseSummary
+from ..executor.rate import RateLimiter
+from .base import Sink, encode_external
+from .csv_sink import CsvSink
+from .manifest import ColumnHasher, Manifest, combine_checksums
+from .parquet_sink import ParquetSink
+from .sqlite_sink import SqliteSink
+
+__all__ = [
+    "EXPORT_FORMATS",
+    "sink_for_format",
+    "export_summary",
+    "verify_export",
+    "ExportValidation",
+]
+
+#: Formats ``sink_for_format`` (and the CLI) accepts, in documentation order.
+EXPORT_FORMATS = ("csv", "sqlite", "parquet")
+
+_SINK_CLASSES = {
+    "csv": CsvSink,
+    "sqlite": SqliteSink,
+    "parquet": ParquetSink,
+}
+
+
+def sink_for_format(format_name: str, out_dir: str | Path) -> Sink:
+    """Instantiate the sink backend for ``format_name`` rooted at ``out_dir``.
+
+    Unknown formats raise :class:`~repro.core.errors.HydraError` listing the
+    supported ones; the parquet backend raises when ``pyarrow`` is missing.
+    """
+    sink_class = _SINK_CLASSES.get(format_name)
+    if sink_class is None:
+        raise HydraError(
+            f"unknown export format {format_name!r}; choose from "
+            + ", ".join(EXPORT_FORMATS)
+        )
+    return sink_class(out_dir)
+
+
+def export_summary(
+    summary: DatabaseSummary,
+    sink: Sink,
+    relations: Sequence[str] | None = None,
+    rate_limiter: RateLimiter | None = None,
+    batch_size: int = 8192,
+    shared_rate_limiter: bool = False,
+    workers: int | None = None,
+    min_parallel_rows: int | None = None,
+) -> Manifest:
+    """Stream every (or the named) relation of ``summary`` into ``sink``.
+
+    Blocks flow straight from the ``datagen`` providers (parallel when
+    ``workers`` > 1 or ``REPRO_WORKERS`` is set — row-identical streams,
+    higher throughput) into the sink, so peak memory stays bounded by the
+    batch size.  Rate limiting matches :meth:`~repro.core.pipeline.Hydra.
+    regenerate`: each relation's stream is paced by its own clone of
+    ``rate_limiter``, or every relation draws from the single caller-supplied
+    limiter with ``shared_rate_limiter=True``.  Returns the sealed
+    :class:`~repro.sinks.manifest.Manifest` after writing ``MANIFEST.json``.
+    Unknown relation names raise :class:`~repro.core.errors.HydraError`
+    listing every bad name; on any failure mid-export the sink's backend
+    resources are released (:meth:`~repro.sinks.base.Sink.abort`) and no
+    manifest is written.
+    """
+    if relations is not None:
+        selected: list[str] | None = list(dict.fromkeys(relations))
+        unknown = sorted(set(selected) - set(summary.relations))
+        if unknown:
+            raise HydraError(
+                "cannot export unknown relation(s) "
+                + ", ".join(repr(name) for name in unknown)
+                + "; summary has: "
+                + ", ".join(repr(name) for name in sorted(summary.relations))
+            )
+    else:
+        selected = None
+    try:
+        for table_name, relation in summary_relation_providers(
+            summary,
+            rate_limiter=rate_limiter,
+            batch_size=batch_size,
+            shared_rate_limiter=shared_rate_limiter,
+            workers=workers,
+            min_parallel_rows=min_parallel_rows,
+            relations=selected,
+        ):
+            sink.open_relation(summary.schema.table(table_name))
+            for _start, _count, block in relation.iter_blocks():
+                sink.write_block(block)
+            sink.close_relation()
+        return sink.finalize(summary)
+    except BaseException:
+        sink.abort()
+        raise
+
+
+# -- verification -----------------------------------------------------------
+
+
+@dataclass
+class ExportValidation:
+    """Outcome of :func:`verify_export`: per-relation checks and problems."""
+
+    export_dir: Path
+    format: str
+    relations_checked: list[str] = field(default_factory=list)
+    rows_checked: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed."""
+        return not self.problems
+
+    def describe(self) -> str:
+        """Human-readable multi-line report of the validation."""
+        lines = [
+            f"export {self.export_dir} (format {self.format}): "
+            f"{len(self.relations_checked)} relation(s), "
+            f"{self.rows_checked:,} rows checked"
+        ]
+        if self.ok:
+            lines.append("OK: manifest fingerprint, row counts and content checksums match")
+        else:
+            lines.extend(f"FAIL: {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+def verify_export(
+    summary: DatabaseSummary,
+    export_dir: str | Path,
+    batch_size: int = 8192,
+) -> ExportValidation:
+    """Validate an export directory against the summary that produced it.
+
+    Three layers of checks, all without regenerating tuples:
+
+    1. the manifest's ``summary_fingerprint`` must equal
+       :meth:`~repro.core.summary.DatabaseSummary.fingerprint` of
+       ``summary`` (the export belongs to exactly this summary);
+    2. every exported relation must exist in the summary with the
+       manifest's row count and column types;
+    3. the backend files are re-read in batches, re-encoded through the
+       schema types and re-hashed — the recomputed content checksums must
+       equal the manifest's (the files still hold the regenerated stream).
+    """
+    export_dir = Path(export_dir)
+    manifest = Manifest.load(export_dir)
+    validation = ExportValidation(export_dir=export_dir, format=manifest.format)
+    reader = _READERS.get(manifest.format)
+    if reader is None:
+        validation.problems.append(
+            f"manifest declares unknown format {manifest.format!r}"
+        )
+        return validation
+
+    expected = summary.fingerprint()
+    if manifest.summary_fingerprint != expected:
+        validation.problems.append(
+            "summary fingerprint mismatch: manifest has "
+            f"{manifest.summary_fingerprint[:12]}..., summary is {expected[:12]}..."
+        )
+
+    for name, entry in manifest.relations.items():
+        if name not in summary.relations:
+            validation.problems.append(
+                f"manifest lists relation {name!r} which the summary does not have"
+            )
+            continue
+        table = summary.schema.table(name)
+        validation.relations_checked.append(name)
+        expected_rows = summary.relation(name).total_rows
+        if entry.rows != expected_rows:
+            validation.problems.append(
+                f"{name}: manifest records {entry.rows} rows, summary "
+                f"regenerates {expected_rows}"
+            )
+        expected_columns = {
+            column.name: column.dtype.name() for column in table.columns
+        }
+        if entry.columns != expected_columns:
+            validation.problems.append(
+                f"{name}: manifest column types {entry.columns} do not match "
+                f"schema {expected_columns}"
+            )
+            continue
+        for file_name in entry.files:
+            if not (export_dir / file_name).is_file():
+                validation.problems.append(
+                    f"{name}: exported file {file_name!r} is missing"
+                )
+        try:
+            hasher = ColumnHasher(table)
+            for block in reader(export_dir, table, batch_size):
+                hasher.update(block)
+        except (HydraError, OSError, ValueError, KeyError, sqlite3.Error) as exc:
+            validation.problems.append(f"{name}: cannot re-read export: {exc}")
+            continue
+        validation.rows_checked += hasher.rows
+        if hasher.rows != entry.rows:
+            validation.problems.append(
+                f"{name}: export holds {hasher.rows} rows, manifest records "
+                f"{entry.rows}"
+            )
+        recomputed = hasher.column_checksums()
+        for column_name, digest in entry.column_checksums.items():
+            if recomputed.get(column_name) != digest:
+                validation.problems.append(
+                    f"{name}.{column_name}: content checksum mismatch "
+                    "(export bytes differ from the regenerated stream)"
+                )
+        if combine_checksums(hasher.rows, recomputed) != entry.checksum:
+            prefixes = (f"{name}:", f"{name}.")
+            if not any(
+                problem.startswith(prefixes) for problem in validation.problems
+            ):
+                validation.problems.append(f"{name}: relation checksum mismatch")
+    return validation
+
+
+def _encode_block(table: Table, rows: Iterable[Sequence[Any]]) -> dict[str, np.ndarray]:
+    """Re-encode a batch of external-value rows into schema-typed arrays."""
+    materialised = list(rows)
+    block: dict[str, np.ndarray] = {}
+    for index, column in enumerate(table.columns):
+        block[column.name] = np.array(
+            [encode_external(column, row[index]) for row in materialised],
+            dtype=column.dtype.numpy_dtype,
+        )
+    return block
+
+
+def _read_csv(
+    export_dir: Path, table: Table, batch_size: int
+) -> Iterator[dict[str, np.ndarray]]:
+    """Stream encoded blocks back out of a CSV export."""
+    path = CsvSink.relation_path(export_dir, table.name)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != table.column_names:
+            raise HydraError(
+                f"{path} header {header} does not match schema columns "
+                f"{table.column_names}"
+            )
+        typed = _csv_parsers(table)
+        batch: list[tuple] = []
+        for row in reader:
+            batch.append(tuple(parse(cell) for parse, cell in zip(typed, row)))
+            if len(batch) >= batch_size:
+                yield _encode_block(table, batch)
+                batch = []
+        if batch:
+            yield _encode_block(table, batch)
+
+
+def _csv_parsers(table: Table) -> list:
+    """Per-column parsers mapping CSV cells to external values."""
+    from ..catalog.types import TypeKind
+
+    parsers = []
+    for column in table.columns:
+        if column.dtype.kind is TypeKind.INTEGER:
+            parsers.append(int)
+        elif column.dtype.kind is TypeKind.FLOAT:
+            parsers.append(float)
+        else:  # DATE and STRING travel as text and re-encode from text
+            parsers.append(str)
+    return parsers
+
+
+def _read_sqlite(
+    export_dir: Path, table: Table, batch_size: int
+) -> Iterator[dict[str, np.ndarray]]:
+    """Stream encoded blocks back out of a SQLite export."""
+    path = SqliteSink.database_path(export_dir)
+    if not path.is_file():
+        raise HydraError(f"{path} does not exist")
+    quoted = ", ".join('"' + name.replace('"', '""') + '"' for name in table.column_names)
+    connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    try:
+        cursor = connection.execute(
+            f'SELECT {quoted} FROM "{table.name}" ORDER BY rowid'
+        )
+        while True:
+            rows = cursor.fetchmany(batch_size)
+            if not rows:
+                break
+            yield _encode_block(table, rows)
+    finally:
+        connection.close()
+
+
+def _read_parquet(
+    export_dir: Path, table: Table, batch_size: int
+) -> Iterator[dict[str, np.ndarray]]:
+    """Stream encoded blocks back out of a Parquet export."""
+    from .parquet_sink import _import_pyarrow
+
+    _pa, pq = _import_pyarrow()
+    path = ParquetSink.relation_path(export_dir, table.name)
+    if not path.is_file():
+        raise HydraError(f"{path} does not exist")
+    parquet_file = pq.ParquetFile(path)
+    for batch in parquet_file.iter_batches(batch_size=batch_size):
+        columns = {name: batch.column(name).to_pylist() for name in table.column_names}
+        rows = zip(*(columns[name] for name in table.column_names))
+        yield _encode_block(table, rows)
+
+
+_READERS = {
+    "csv": _read_csv,
+    "sqlite": _read_sqlite,
+    "parquet": _read_parquet,
+}

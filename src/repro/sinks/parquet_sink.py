@@ -1,0 +1,114 @@
+"""Parquet materialization backend (optional ``pyarrow`` dependency).
+
+Parquet is the columnar interchange format analytical engines (DuckDB,
+Spark, Polars, ...) ingest natively; ``pyarrow`` is an *optional*
+dependency of this project, so the backend degrades gracefully: calling
+:func:`parquet_available` tells callers whether the sink can run, and
+constructing a :class:`ParquetSink` without ``pyarrow`` raises a clear
+:class:`~repro.core.errors.HydraError` instead of an import crash.  The CLI
+and benchmarks consult the availability check up front.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..catalog.schema import Table
+from ..catalog.types import TypeKind
+from ..core.errors import HydraError
+from .base import Sink, external_columns
+
+__all__ = ["ParquetSink", "parquet_available"]
+
+
+def _import_pyarrow():
+    """Import ``(pyarrow, pyarrow.parquet)`` or raise a clear error."""
+    try:
+        import pyarrow
+        import pyarrow.parquet
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise HydraError(
+            "parquet export requires the optional 'pyarrow' dependency, "
+            "which is not installed; use --format csv or sqlite instead"
+        ) from exc
+    return pyarrow, pyarrow.parquet
+
+
+def parquet_available() -> bool:
+    """Whether the optional ``pyarrow`` dependency is importable."""
+    try:
+        import pyarrow  # noqa: F401
+        import pyarrow.parquet  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class ParquetSink(Sink):
+    """Write each relation as ``<relation>.parquet``.
+
+    Blocks stream through one ``pyarrow.parquet.ParquetWriter`` per
+    relation (one row group per block), so peak memory stays bounded by the
+    batch size.  Integers and floats keep their 64-bit types; dates and
+    dictionary-encoded strings are stored as UTF-8 strings in the same
+    external representation as the CSV and SQLite backends, which keeps the
+    manifest checksums backend-independent.
+    """
+
+    format_name = "parquet"
+
+    def __init__(self, out_dir):
+        """Create the sink rooted at ``out_dir`` (requires ``pyarrow``)."""
+        self._pa, self._pq = _import_pyarrow()
+        super().__init__(out_dir)
+        self._writer: Any = None
+        self._schema: Any = None
+
+    @staticmethod
+    def relation_path(out_dir: str | Path, table_name: str) -> Path:
+        """The Parquet file one relation exports to."""
+        return Path(out_dir) / f"{table_name}.parquet"
+
+    def _arrow_schema(self, table: Table):
+        """Arrow schema mirroring the export's external value types."""
+        pa = self._pa
+        fields = []
+        for column in table.columns:
+            if column.dtype.kind is TypeKind.INTEGER:
+                arrow_type = pa.int64()
+            elif column.dtype.kind is TypeKind.FLOAT:
+                arrow_type = pa.float64()
+            else:
+                arrow_type = pa.string()
+            fields.append(pa.field(column.name, arrow_type))
+        return pa.schema(fields)
+
+    def _backend_open(self, table: Table) -> None:
+        path = self.relation_path(self.out_dir, table.name)
+        self._schema = self._arrow_schema(table)
+        self._writer = self._pq.ParquetWriter(path, self._schema)
+
+    def _backend_write(self, table: Table, block: Mapping[str, np.ndarray]) -> None:
+        assert self._writer is not None
+        decoded = external_columns(table, block)
+        arrow_table = self._pa.table(
+            {name: decoded[name] for name in table.column_names},
+            schema=self._schema,
+        )
+        self._writer.write_table(arrow_table)
+
+    def _backend_close(self, table: Table) -> list[str]:
+        assert self._writer is not None
+        self._writer.close()
+        self._writer = None
+        self._schema = None
+        return [f"{table.name}.parquet"]
+
+    def _backend_abort(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._schema = None

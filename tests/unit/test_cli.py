@@ -223,3 +223,128 @@ class TestVendorExtend:
             vendor_main(
                 [str(base_path), "--reuse-solutions", "--output", str(tmp_path / "s.json")]
             )
+
+
+class TestVendorExport:
+    def _vendor_export(self, package_path, tmp_path, fmt, out_name, extra=()):
+        out_dir = tmp_path / out_name
+        code = vendor_main(
+            [
+                str(package_path),
+                "--materialize", "all",
+                "--format", fmt,
+                "--out", str(out_dir),
+                "--output", str(tmp_path / f"{out_name}_summary.json"),
+                *extra,
+            ]
+        )
+        assert code == 0
+        return out_dir, tmp_path / f"{out_name}_summary.json"
+
+    def test_sqlite_export_round_trips(self, package_path, tmp_path, capsys):
+        import sqlite3
+
+        out_dir, summary_path = self._vendor_export(
+            package_path, tmp_path, "sqlite", "sql_export"
+        )
+        assert "exported" in capsys.readouterr().out
+        summary = DatabaseSummary.load(summary_path)
+        connection = sqlite3.connect(out_dir / "export.sqlite")
+        for name in ("R", "S", "T"):
+            count = connection.execute(f"SELECT COUNT(*) FROM {name}").fetchone()[0]
+            assert count == summary.row_count(name)
+        connection.close()
+        assert (out_dir / "MANIFEST.json").is_file()
+
+    def test_verify_against_validates_and_detects_corruption(
+        self, package_path, tmp_path, capsys
+    ):
+        out_dir, summary_path = self._vendor_export(
+            package_path, tmp_path, "csv", "csv_export"
+        )
+        code = verify_main(
+            [str(package_path), str(summary_path), "--against", str(out_dir)]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+        # Corrupt one data file: validation must fail with exit code 1.
+        target = out_dir / "S.csv"
+        lines = target.read_text().splitlines()
+        cells = lines[1].split(",")
+        cells[-1] = "2049-01-01" if cells[-1] != "2049-01-01" else "2049-01-02"
+        lines[1] = ",".join(cells)
+        target.write_text("\n".join(lines) + "\n")
+        code = verify_main(
+            [str(package_path), str(summary_path), "--against", str(out_dir)]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_workers_export_matches_serial(self, package_path, tmp_path):
+        serial_dir, _ = self._vendor_export(package_path, tmp_path, "csv", "serial")
+        parallel_dir, _ = self._vendor_export(
+            package_path, tmp_path, "csv", "parallel", extra=["--workers", "2"]
+        )
+        for name in ("R", "S", "T"):
+            assert (serial_dir / f"{name}.csv").read_bytes() == (
+                parallel_dir / f"{name}.csv"
+            ).read_bytes()
+
+    def test_unknown_format_rejected_before_solving(self, package_path, tmp_path):
+        with pytest.raises(SystemExit):
+            vendor_main(
+                [
+                    str(package_path),
+                    "--materialize", "all",
+                    "--format", "msgpack",
+                    "--out", str(tmp_path / "x"),
+                ]
+            )
+
+    def test_unwritable_out_rejected_before_solving(self, package_path, tmp_path):
+        blocker = tmp_path / "not_a_dir"
+        blocker.write_text("file in the way")
+        with pytest.raises(SystemExit):
+            vendor_main(
+                [
+                    str(package_path),
+                    "--materialize", "all",
+                    "--format", "csv",
+                    "--out", str(blocker),
+                ]
+            )
+
+    def test_unknown_materialize_relation_rejected_before_solving(
+        self, package_path, tmp_path
+    ):
+        with pytest.raises(SystemExit):
+            vendor_main(
+                [
+                    str(package_path),
+                    "--materialize", "NOPE",
+                    "--format", "csv",
+                    "--out", str(tmp_path / "x"),
+                ]
+            )
+
+    def test_format_requires_out_and_materialize(self, package_path, tmp_path):
+        with pytest.raises(SystemExit):
+            vendor_main([str(package_path), "--materialize", "all", "--format", "csv"])
+        with pytest.raises(SystemExit):
+            vendor_main(
+                [str(package_path), "--format", "csv", "--out", str(tmp_path / "x")]
+            )
+
+    def test_against_rejects_inapplicable_flags(self, package_path, tmp_path):
+        out_dir, summary_path = self._vendor_export(
+            package_path, tmp_path, "csv", "flags_export"
+        )
+        with pytest.raises(SystemExit):
+            verify_main(
+                [
+                    str(package_path),
+                    str(summary_path),
+                    "--against", str(out_dir),
+                    "--sample", "S",
+                ]
+            )
