@@ -78,6 +78,13 @@ def _run_route(database, plan, **engine_options):
     result = engine.execute(cloned)
     elapsed = time.perf_counter() - start
     annotations = [node.cardinality for node in cloned.iter_nodes()]
+    # The engine records which route answered the aggregate; the join-COUNT
+    # fast path must actually fire (not silently fall back) for the speedup
+    # claims below to measure what they say they measure.
+    expected_route = "summary" if engine_options.get("summary_fastpath") else "streaming"
+    assert result.aggregate_route == expected_route, (
+        f"expected aggregate_route={expected_route!r}, got {result.aggregate_route!r}"
+    )
     return int(result.column("count")[0]), annotations, elapsed, result.scanned_rows
 
 

@@ -64,7 +64,7 @@ class ColumnStatistics:
     def estimate_intervals_fraction(self, intervals) -> float:
         """Estimate the fraction of rows whose value falls in an interval set.
 
-        ``intervals`` is an :class:`repro.sql.expressions.IntervalSet`; the
+        ``intervals`` is an :class:`repro.sql.predicates.IntervalSet`; the
         estimate clamps unbounded endpoints to the observed min/max and sums
         the per-interval range estimates (intervals are disjoint).
         """

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..catalog.schema import Table
 from ..catalog.statistics import TableStatistics
-from ..sql.expressions import BoxCondition, Interval, IntervalSet
+from ..sql.predicates import BoxCondition, Interval, IntervalSet
 from .regions import Region
 from .summary import FKReference, RelationSummary, SummaryRow
 

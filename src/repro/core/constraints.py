@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..sql.expressions import BoxCondition
+from ..sql.predicates import BoxCondition
 
 __all__ = [
     "SymbolicPredicate",

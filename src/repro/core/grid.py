@@ -19,7 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from ..sql.expressions import BoxCondition, Interval, IntervalSet
+from ..sql.predicates import BoxCondition, Interval, IntervalSet
 from .errors import RegionExplosionError
 from .regions import Region, box_is_empty
 

@@ -34,7 +34,7 @@ from ..executor.datagen import DataGenRelation, ParallelDataGenRelation
 from ..executor.rate import RateLimiter
 from ..parallel.pool import default_min_parallel_rows, default_workers
 from ..plans.aqp import AnnotatedQueryPlan
-from ..sql.expressions import BoxCondition, Interval, IntervalSet
+from ..sql.predicates import BoxCondition, Interval, IntervalSet
 from ..storage.database import Database, MaterializedRelation
 from .alignment import AlignedRelation, DeterministicAligner
 from .constraints import CardinalityConstraint, RelationConstraints, SymbolicPredicate

@@ -34,7 +34,8 @@ from ..plans.logical import (
     ProjectNode,
     ScanNode,
 )
-from ..sql.expressions import BoxCondition
+from ..sql.predicates import BoxCondition
+from ..sql.query import DisjunctiveJoinCondition
 from .constraints import (
     CardinalityConstraint,
     ReferencedPredicate,
@@ -183,6 +184,11 @@ def _join_state(
     aqp: AnnotatedQueryPlan,
 ) -> _SubPlanState:
     condition = node.condition
+    if isinstance(condition, DisjunctiveJoinCondition):
+        raise DecompositionError(
+            f"join {condition.as_predicate()} in query {aqp.name!r} is disjunctive; "
+            "the LP decomposition only supports key/foreign-key equi-joins"
+        )
 
     def orientation() -> tuple[str, str, str, str] | None:
         """Return (fk_table, fk_column, ref_table, ref_column) if key/FK join."""

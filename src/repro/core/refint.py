@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..sql.expressions import Interval, IntervalSet
+from ..sql.predicates import Interval, IntervalSet
 from .summary import DatabaseSummary, FKReference
 
 __all__ = ["ReferentialRepair", "ReferentialReport", "enforce_referential_integrity"]

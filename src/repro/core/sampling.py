@@ -24,7 +24,7 @@ import numpy as np
 
 from ..catalog.schema import Table
 from ..catalog.statistics import TableStatistics
-from ..sql.expressions import BoxCondition
+from ..sql.predicates import BoxCondition
 from .alignment import AlignedRelation, DeterministicAligner
 from .regions import Region
 

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..catalog.schema import Schema, Table
 from ..serialization import JsonDocument
-from ..sql.expressions import BoxCondition, Interval, IntervalSet
+from ..sql.predicates import BoxCondition, Interval, IntervalSet
 from .errors import SummaryError
 
 __all__ = [

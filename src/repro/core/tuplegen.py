@@ -25,7 +25,7 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from ..catalog.schema import Table
-from ..sql.expressions import BoxCondition, columns_with_dependencies
+from ..sql.predicates import BoxCondition, columns_with_dependencies
 from .errors import SummaryError
 from .summary import DatabaseSummary, RelationSummary
 

@@ -18,13 +18,13 @@ from typing import TYPE_CHECKING, Iterator, Protocol, Sequence, runtime_checkabl
 
 import numpy as np
 
-from ..sql.expressions import BoxCondition, columns_with_dependencies
+from ..sql.predicates import BoxCondition, columns_with_dependencies
 from ..storage.table import TableData
 from .rate import RateLimiter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.tuplegen import TupleGenerator
-    from ..sql.expressions import Predicate
+    from ..sql.predicates import Predicate
 
 __all__ = ["RowSource", "DataGenRelation", "ParallelDataGenRelation", "GenerationStats"]
 

@@ -41,12 +41,14 @@ from ..plans.planner import (
     exact_predicate_box,
     fk_join_edge,
 )
-from ..sql.expressions import (
+from ..sql.predicates import (
     BoxCondition,
+    Interval,
     IntervalSet,
     Predicate,
     columns_with_dependencies,
 )
+from ..sql.query import DisjunctiveJoinCondition
 from ..storage.database import Database, MaterializedRelation, RelationProvider
 
 __all__ = ["ExecutionResult", "ExecutionEngine", "ExecutorError"]
@@ -58,11 +60,18 @@ class ExecutorError(RuntimeError):
 
 @dataclass
 class ExecutionResult:
-    """Output block of a plan execution."""
+    """Output block of a plan execution.
+
+    ``aggregate_route`` records how a top-level aggregate was answered:
+    ``"summary"`` when it was served from the relation summaries without
+    generating tuples, ``"streaming"`` when the child plan was executed, and
+    ``None`` when the plan has no aggregate root.
+    """
 
     columns: dict[str, np.ndarray]
     row_count: int
     scanned_rows: int = 0
+    aggregate_route: str | None = None
 
     def column(self, name: str) -> np.ndarray:
         if name in self.columns:
@@ -101,12 +110,15 @@ class ExecutionEngine:
     predicate so peak memory is bounded by the batch size plus the matching
     rows, never O(rows × columns) of the whole relation.  With
     ``summary_fastpath`` enabled, ``COUNT`` aggregates over a single
-    summary-backed relation — or over a single key/foreign-key join of two
-    summary-backed relations — are answered directly from the relation
+    summary-backed relation — or over a left-deep tree of key/foreign-key
+    joins of summary-backed relations (single joins, ``A→B→C`` chains,
+    star fan-outs) — and ``SUM``/``AVG`` aggregates over a single
+    summary-backed relation are answered directly from the relation
     summaries (count × interval arithmetic, O(#summary rows)) whenever the
     pushed filters are expressible as box conditions and the summaries can
     answer them exactly; otherwise execution falls back to the streaming
-    scan.  With ``streaming_join`` enabled (requires ``pushdown``), joins
+    scan.  :attr:`ExecutionResult.aggregate_route` reports which of the two
+    served a given aggregate.  With ``streaming_join`` enabled (requires ``pushdown``), joins
     with a dataless leaf input run build/probe: the smaller side (by summary
     cardinality) is materialised as the build table and the other side is
     streamed through it batch-by-batch, with semi-join FK pushdown skipping
@@ -131,6 +143,7 @@ class ExecutionEngine:
     summary_fastpath: bool = True
     streaming_join: bool = True
     _scanned_rows: int = field(default=0, init=False)
+    _aggregate_route: "str | None" = field(default=None, init=False)
     _pushdowns: dict[int, ScanPushdown] = field(default_factory=dict, init=False)
     _semijoins: dict[int, BoxCondition] = field(default_factory=dict, init=False)
 
@@ -143,6 +156,7 @@ class ExecutionEngine:
     def execute(self, plan: PlanNode) -> ExecutionResult:
         """Execute a plan, optionally annotating node cardinalities in place."""
         self._scanned_rows = 0
+        self._aggregate_route = None
         self._pushdowns = compute_pushdowns(plan, self.schema) if self.pushdown else {}
         self._semijoins = (
             compute_semijoin_pushdowns(plan, self.schema, self._plan_summaries(plan))
@@ -154,6 +168,7 @@ class ExecutionEngine:
             columns=block.columns,
             row_count=block.row_count,
             scanned_rows=self._scanned_rows,
+            aggregate_route=self._aggregate_route,
         )
 
     # -- node dispatch ---------------------------------------------------
@@ -368,22 +383,58 @@ class ExecutionEngine:
         right = self._execute_node(node.right)
         condition = node.condition
 
-        left_key_name = f"{condition.left_table}.{condition.left_column}"
-        right_key_name = f"{condition.right_table}.{condition.right_column}"
-        if left_key_name in left.columns and right_key_name in right.columns:
-            left_keys, right_keys = left.columns[left_key_name], right.columns[right_key_name]
-        elif right_key_name in left.columns and left_key_name in right.columns:
-            left_keys, right_keys = left.columns[right_key_name], right.columns[left_key_name]
+        if isinstance(condition, DisjunctiveJoinCondition):
+            left_indices, right_indices = self._disjunctive_join_indices(
+                left, right, condition
+            )
         else:
-            raise ExecutorError(f"join keys {left_key_name}/{right_key_name} not available")
-
-        left_indices, right_indices = _hash_join_indices(left_keys, right_keys)
+            left_keys, right_keys = self._join_key_arrays(left, right, condition)
+            left_indices, right_indices = _hash_join_indices(left_keys, right_keys)
         columns: dict[str, np.ndarray] = {}
         for name, values in left.columns.items():
             columns[name] = values[left_indices]
         for name, values in right.columns.items():
             columns[name] = values[right_indices]
         return _Block(columns=columns, row_count=int(len(left_indices)))
+
+    @staticmethod
+    def _join_key_arrays(
+        left: _Block, right: _Block, condition: Any
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve one equi-join's key arrays out of the two input blocks."""
+        left_key_name = f"{condition.left_table}.{condition.left_column}"
+        right_key_name = f"{condition.right_table}.{condition.right_column}"
+        if left_key_name in left.columns and right_key_name in right.columns:
+            return left.columns[left_key_name], right.columns[right_key_name]
+        if right_key_name in left.columns and left_key_name in right.columns:
+            return left.columns[right_key_name], right.columns[left_key_name]
+        raise ExecutorError(f"join keys {left_key_name}/{right_key_name} not available")
+
+    def _disjunctive_join_indices(
+        self, left: _Block, right: _Block, condition: DisjunctiveJoinCondition
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Index pairs matching *any* alternative of a disjunctive join.
+
+        Each alternative is evaluated as an ordinary vectorised equi-join;
+        the per-alternative index pairs are unioned with duplicates removed
+        (a row pair satisfying two alternatives appears once) and ordered
+        exactly like a plain join's output: ascending by left row, each left
+        row's partners ascending by right row.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if left.row_count == 0 or right.row_count == 0:
+            return empty, empty
+        encoded_sets: list[np.ndarray] = []
+        stride = np.int64(right.row_count)
+        for alternative in condition.alternatives:
+            left_keys, right_keys = self._join_key_arrays(left, right, alternative)
+            left_idx, right_idx = _hash_join_indices(left_keys, right_keys)
+            if len(left_idx):
+                encoded_sets.append(left_idx * stride + right_idx)
+        if not encoded_sets:
+            return empty, empty
+        encoded = np.unique(np.concatenate(encoded_sets))
+        return encoded // stride, encoded % stride
 
     def _streamable_leaf(self, child: PlanNode) -> tuple[ScanNode, FilterNode | None] | None:
         """The child's leaf access path, if it can be streamed as a probe side."""
@@ -443,6 +494,10 @@ class ExecutionEngine:
         apply (the caller then materialises both inputs).
         """
         condition = node.condition
+        if isinstance(condition, DisjunctiveJoinCondition):
+            # No single probe key column exists; the materialising route
+            # unions the alternatives instead.
+            return None
         if condition.left_table == condition.right_table:
             return None  # self-joins keep the materialising route
         left_leaf = self._streamable_leaf(node.left)
@@ -573,20 +628,56 @@ class ExecutionEngine:
         return _Block(columns=columns, row_count=child.row_count)
 
     def _execute_aggregate(self, node: AggregateNode) -> _Block:
-        if node.function != "count":
-            raise ExecutorError(f"unsupported aggregate {node.function!r}")
+        if node.function == "count":
+            return self._execute_count(node)
+        if node.function in ("sum", "avg"):
+            return self._execute_sum_avg(node)
+        raise ExecutorError(f"unsupported aggregate {node.function!r}")
+
+    def _execute_count(self, node: AggregateNode) -> _Block:
         if self.summary_fastpath:
             fast = self._summary_count(node.child)
             if fast is None:
                 fast = self._summary_join_count(node.child)
             if fast is not None:
+                self._aggregate_route = "summary"
                 return _Block(
                     columns={"count": np.asarray([fast], dtype=np.int64)},
                     row_count=1,
                 )
         child = self._execute_node(node.child)
+        self._aggregate_route = "streaming"
         return _Block(
             columns={"count": np.asarray([child.row_count], dtype=np.int64)},
+            row_count=1,
+        )
+
+    def _execute_sum_avg(self, node: AggregateNode) -> _Block:
+        if node.argument is None:
+            raise ExecutorError(
+                f"aggregate {node.function!r} requires a column argument"
+            )
+        if self.summary_fastpath:
+            fast = self._summary_sum(node.child, node.argument)
+            if fast is not None:
+                count, total = fast
+                self._aggregate_route = "summary"
+                value = total if node.function == "sum" else (
+                    total / count if count else 0.0
+                )
+                return _Block(
+                    columns={node.function: np.asarray([value], dtype=np.float64)},
+                    row_count=1,
+                )
+        child = self._execute_node(node.child)
+        resolved = self._resolve_output_column(child, node.argument)
+        values = np.asarray(child.columns[resolved], dtype=np.float64)
+        total = math.fsum(values.tolist())
+        count = child.row_count
+        self._aggregate_route = "streaming"
+        value = total if node.function == "sum" else (total / count if count else 0.0)
+        return _Block(
+            columns={node.function: np.asarray([value], dtype=np.float64)},
             row_count=1,
         )
 
@@ -628,157 +719,309 @@ class ExecutionEngine:
         return int(count)
 
     def _summary_join_count(self, child: PlanNode) -> int | None:
-        """Answer COUNT over a single FK–PK join straight from the summaries.
+        """Answer COUNT over a left-deep FK–PK join tree from the summaries.
 
-        Applies when both join inputs are leaf access paths of summary-backed
-        dataless relations, the join follows the schema's foreign-key edge
-        onto the referenced primary key, and both pushed filters normalise to
-        exact boxes.  The referenced side's exactly-matching pk indices are
-        projected with
-        :meth:`~repro.core.summary.RelationSummary.matching_pk_intervals`
-        (``exact=True``); each referencing summary row then contributes the
-        :meth:`~repro.core.summary.FKReference.count_matching_offsets` of its
-        round-robin spread against those intervals — O(#summary rows) total,
-        zero tuples generated, and exact because every referencing tuple
-        joins at most one (unique, auto-numbered) referenced pk.  Returns
-        ``None`` whenever any step is not exactly countable, so the caller
-        falls back to streaming execution — mirroring :meth:`_summary_count`'s
-        bit-identical guarantee.  Annotates both leaves and the join node
-        with the cardinalities streaming would produce.
+        Applies when every input of the left-deep join chain is the leaf
+        access path of a summary-backed dataless relation, every join
+        condition follows a schema foreign-key edge onto the referenced
+        primary key (:func:`~repro.plans.planner.fk_join_edge`), and every
+        pushed filter normalises to an exact box.  This covers the single
+        FK–PK join, multi-way chains (``A→B→C``: the middle relation's
+        matching pks are first narrowed by *its own* FK condition toward
+        ``C``) and stars (one fact referencing several dimensions) — any
+        join subset whose FK edges form an out-tree from a single
+        referencing root.
+
+        Each referenced relation's exactly-matching pk indices are projected
+        with :meth:`~repro.core.summary.RelationSummary.matching_pk_intervals`
+        (``exact=True``), folded into the referencing side's box as a
+        condition on its FK column, and the root is counted with
+        :meth:`_count_rows_matching` — O(#summary rows × #joins) total, zero
+        tuples generated, and exact because every referencing tuple joins at
+        most one (unique, auto-numbered) referenced pk.  Returns ``None``
+        whenever any step is not exactly countable, so the caller falls back
+        to streaming execution — mirroring :meth:`_summary_count`'s
+        bit-identical guarantee.  Annotates every leaf and every join node
+        with the cardinalities streaming would produce (each intermediate
+        join is counted against only the tables joined so far).
         """
-        if not isinstance(child, JoinNode):
+        spine: list[JoinNode] = []
+        node = child
+        while isinstance(node, JoinNode):
+            spine.append(node)
+            node = node.left
+        if not spine:
             return None
-        condition = child.condition
-        edge = fk_join_edge(condition, self.schema)
-        if edge is None:
-            return None
-        fk_table_name, fk_column, ref_table_name, ref_column = edge
-        left_leaf = leaf_scan(child.left)
-        right_leaf = leaf_scan(child.right)
-        if left_leaf is None or right_leaf is None:
-            return None
-        leaves = {leaf[0].table: leaf for leaf in (left_leaf, right_leaf)}
-        if set(leaves) != {condition.left_table, condition.right_table}:
-            return None
+        spine.reverse()
 
-        fk_scan, fk_filter = leaves[fk_table_name]
-        ref_scan, ref_filter = leaves[ref_table_name]
-        fk_summary = self._relation_summary(fk_table_name)
-        ref_summary = self._relation_summary(ref_table_name)
-        if fk_summary is None or ref_summary is None:
+        anchor_leaf = leaf_scan(node)
+        if anchor_leaf is None:
             return None
-        if not callable(getattr(ref_summary, "matching_pk_intervals", None)):
-            return None
-        fk_table = self.schema.table(fk_table_name)
-        ref_table = self.schema.table(ref_table_name)
-
-        ref_box = BoxCondition({})
-        if ref_filter is not None:
-            ref_box = self._predicate_box(ref_filter.predicate, ref_table)
-            if ref_box is None:
+        leaves: dict[str, tuple[ScanNode, FilterNode | None]] = {
+            anchor_leaf[0].table: anchor_leaf
+        }
+        step_tables: list[str] = []
+        for join in spine:
+            right_leaf = leaf_scan(join.right)
+            if right_leaf is None or right_leaf[0].table in leaves:
                 return None
-        fk_box = BoxCondition({})
-        if fk_filter is not None:
-            fk_box = self._predicate_box(fk_filter.predicate, fk_table)
-            if fk_box is None:
-                return None
-        ref_intervals = ref_summary.matching_pk_intervals(
-            ref_box, pk_column=ref_column, exact=True
-        )
-        if ref_intervals is None:
-            return None
+            leaves[right_leaf[0].table] = right_leaf
+            step_tables.append(right_leaf[0].table)
 
-        counted = self._count_fk_rows_joining(
-            fk_summary, fk_table, fk_column, fk_box, ref_intervals
-        )
-        if counted is None:
-            return None
-        filter_matched, joined = counted
+        edges: list[tuple[str, str, str, str]] = []
+        for join in spine:
+            edge = fk_join_edge(join.condition, self.schema)
+            if edge is None or not set(edge[::2]) <= set(leaves):
+                return None
+            edges.append(edge)
+
+        summaries: dict[str, Any] = {}
+        boxes: dict[str, BoxCondition] = {}
+        for table_name, (_scan, filter_node) in leaves.items():
+            summary = self._relation_summary(table_name)
+            if summary is None or not callable(
+                getattr(summary, "matching_pk_intervals", None)
+            ):
+                return None
+            summaries[table_name] = summary
+            table = self.schema.table(table_name)
+            if filter_node is None:
+                box: BoxCondition | None = BoxCondition({})
+            else:
+                box = self._predicate_box(filter_node.predicate, table)
+                if box is None:
+                    return None
+            boxes[table_name] = box
+
+        # Filter annotations: tuples matching each table's own box only.
+        filter_counts: dict[str, int] = {}
+        for table_name in leaves:
+            count = summaries[table_name].count_matching(
+                boxes[table_name],
+                pk_column=self.schema.table(table_name).primary_key,
+            )
+            if count is None:
+                return None
+            filter_counts[table_name] = int(count)
+
+        # Each intermediate join is the join of the tables attached so far,
+        # so its cardinality uses only the edges inside that prefix.
+        prefix = [anchor_leaf[0].table]
+        join_counts: list[int] = []
+        for index, table_name in enumerate(step_tables):
+            prefix.append(table_name)
+            count = self._count_fk_prefix(
+                prefix, edges[: index + 1], boxes, summaries
+            )
+            if count is None:
+                return None
+            join_counts.append(count)
 
         if self.annotate:
-            fk_scan.cardinality = self.database.provider(fk_table_name).row_count
-            ref_scan.cardinality = self.database.provider(ref_table_name).row_count
-            if fk_filter is not None:
-                fk_filter.cardinality = int(filter_matched)
-            if ref_filter is not None:
-                ref_filter.cardinality = int(ref_intervals.count_integers())
-            child.cardinality = int(joined)
-        return int(joined)
+            for table_name, (scan, filter_node) in leaves.items():
+                scan.cardinality = self.database.provider(table_name).row_count
+                if filter_node is not None:
+                    filter_node.cardinality = filter_counts[table_name]
+            for join, count in zip(spine, join_counts):
+                join.cardinality = int(count)
+        return int(join_counts[-1])
 
-    def _count_fk_rows_joining(
+    def _count_fk_prefix(
         self,
-        fk_summary: Any,
-        fk_table: Table,
-        fk_column: str,
-        fk_box: BoxCondition,
-        ref_intervals: IntervalSet,
-    ) -> tuple[int, int] | None:
-        """``(filter_matched, joined)`` counts of the referencing relation.
+        tables: list[str],
+        edges: list[tuple[str, str, str, str]],
+        boxes: Mapping[str, BoxCondition],
+        summaries: Mapping[str, Any],
+    ) -> int | None:
+        """Exact row count of an FK out-tree join over ``tables``.
 
-        ``filter_matched`` is the number of referencing tuples satisfying
-        ``fk_box`` (the FK side's own filter annotation); ``joined`` is the
-        subset whose FK target additionally lands in ``ref_intervals`` (the
-        referenced pks that survive the other side's filter).  Both build on
-        :meth:`~repro.core.summary.RelationSummary.classify_row` — the one
-        place the per-row pass/fail/partial arithmetic lives — plus
-        round-robin prefix counting for the join; returns ``None`` when a
-        row's matched subset is not exactly countable (two partially
-        matching columns, or a partial on a foreign key other than the join
-        key, are correlated through the tuple offset).
+        ``edges`` are ``(fk_table, fk_column, ref_table, ref_column)``
+        resolutions.  The join must form an out-tree from a single
+        referencing root (every other table is the referenced side of
+        exactly one edge); every table's matching pk intervals are computed
+        bottom-up — own box plus the FK conditions toward its referenced
+        children — and the root's tuples are counted against its box plus
+        its own FK conditions.  Returns ``None`` when the shape does not
+        apply (two facts sharing a dimension multiply cardinalities, which
+        interval arithmetic cannot express) or a step is not exactly
+        countable.
         """
-        pk_column = fk_table.primary_key
-        filter_matched = 0
-        joined = 0
-        for position, row in enumerate(fk_summary.rows):
-            match = fk_summary.classify_row(position, fk_box, pk_column=pk_column)
+        ref_tables = [edge[2] for edge in edges]
+        if len(set(ref_tables)) != len(ref_tables):
+            return None
+        roots = [table for table in tables if table not in ref_tables]
+        if len(roots) != 1:
+            return None
+        root = roots[0]
+        out_edges: dict[str, list[tuple[str, str]]] = {}
+        for fk_table, fk_column, ref_table, _ref_column in edges:
+            out_edges.setdefault(fk_table, []).append((fk_column, ref_table))
+
+        def conditioned_box(table_name: str) -> BoxCondition | None:
+            box = boxes[table_name]
+            for fk_column, ref_table in out_edges.get(table_name, ()):
+                intervals = effective_intervals(ref_table)
+                if intervals is None:
+                    return None
+                box = box.intersect(BoxCondition({fk_column: intervals}))
+            return box
+
+        def effective_intervals(table_name: str) -> IntervalSet | None:
+            box = conditioned_box(table_name)
+            if box is None:
+                return None
+            return summaries[table_name].matching_pk_intervals(
+                box,
+                pk_column=self.schema.table(table_name).primary_key,
+                exact=True,
+            )
+
+        combined = conditioned_box(root)
+        if combined is None:
+            return None
+        return self._count_rows_matching(
+            summaries[root], self.schema.table(root), combined
+        )
+
+    def _count_rows_matching(
+        self, summary: Any, table: Table, box: BoxCondition
+    ) -> int | None:
+        """Exact number of tuples of a summary-backed relation matching ``box``.
+
+        Builds on :meth:`~repro.core.summary.RelationSummary.classify_row` —
+        the one place the per-row pass/fail/partial column arithmetic lives —
+        and extends it with round-robin prefix counting for the one
+        combination :meth:`~repro.core.summary.RelationSummary
+        .count_matching_row` cannot fold: a partial pk window *plus* one
+        partially-matching FK spread.  Offsets are pk indices shifted by the
+        segment start, so the pk window is an offset range and prefix-count
+        differences of :meth:`~repro.core.summary.FKReference
+        .count_matching_offsets` count its matching tuples exactly.  Two
+        partial FK columns remain correlated through the tuple offset:
+        returns ``None`` so the caller falls back to streaming.
+        """
+        pk_column = table.primary_key
+        total = 0
+        for position, row in enumerate(summary.rows):
+            match = summary.classify_row(position, box, pk_column=pk_column)
             if match is None:
                 continue
-            if match.partial_columns > 1:
+            counted = self._row_matched_count(summary, position, row, match)
+            if counted is None:
                 return None
-            if any(column != fk_column for column in match.partial_fks):
-                return None
-            own_fk = match.partial_fks.get(fk_column)
-            count = match.count
+            total += counted
+        return total
 
-            if fk_column in row.fk_refs:
-                ref = row.fk_refs[fk_column]
-                allowed = (
-                    ref_intervals
-                    if own_fk is None
-                    else ref_intervals.intersect(own_fk[0])
-                )
+    @staticmethod
+    def _row_matched_count(
+        summary: Any, position: int, row: Any, match: Any
+    ) -> int | None:
+        """Matched tuple count of one classified summary row, if countable."""
+        if not match.partial_fks:
+            if match.pk_window is not None:
+                return match.pk_window.count_integers()
+            return match.count
+        if len(match.partial_fks) > 1:
+            return None
+        ((column, (allowed, matched)),) = match.partial_fks.items()
+        if match.pk_window is None:
+            return matched
+        ref = row.fk_refs[column]
+        start, _end = summary.pk_interval_of_row(position)
+        counted = 0
+        for piece in match.pk_window:
+            low = int(math.ceil(piece.low)) - start
+            high = low + piece.count_integers()
+            counted += ref.count_matching_offsets(
+                high, allowed
+            ) - ref.count_matching_offsets(low, allowed)
+        return counted
+
+    def _aggregate_argument_column(self, table: Table, table_name: str, argument: str) -> str | None:
+        """Resolve a SUM/AVG argument onto one table's column, else ``None``."""
+        name = argument
+        if "." in name:
+            prefix, name = name.split(".", 1)
+            if prefix != table_name:
+                return None
+        return name if table.has_column(name) else None
+
+    def _summary_sum(self, child: PlanNode, argument: str) -> tuple[int, float] | None:
+        """``(count, sum)`` of a column straight from a relation summary.
+
+        Applies when the aggregate input is a (possibly filtered) scan of a
+        summary-backed dataless relation, the filter normalises to an exact
+        box, and every matching region's contribution is exactly summable:
+
+        * a **value column** is generated as its region's constant
+          representative, so the contribution is ``matched × value`` —
+          exact for any countable matched subset;
+        * the **primary key** is the tuple index, so a fully-matching region
+          or a pk window sums as an arithmetic series
+          (:meth:`~repro.sql.predicates.IntervalSet.sum_integers`); a
+          partial FK match scatters the matching pks, which is not summable;
+        * a **foreign-key column** varies tuple-by-tuple with the
+          round-robin spread: never summable from the summary.
+
+        Region terms are combined with :func:`math.fsum`; streaming
+        computes :func:`math.fsum` over the generated tuples, so the two
+        routes agree exactly whenever the per-region products are exact
+        (integer or dyadic representatives — every workload in this repo).
+        Returns ``None`` otherwise, falling back to streaming.  Annotates
+        the scan/filter nodes with the same cardinalities streaming would
+        produce.
+        """
+        leaf = leaf_scan(child)
+        if leaf is None:
+            return None
+        scan, filter_node = leaf
+        summary = self._relation_summary(scan.table)
+        if summary is None:
+            return None
+        table = self.schema.table(scan.table)
+        column = self._aggregate_argument_column(table, scan.table, argument)
+        if column is None:
+            return None
+        provider = self.database.provider(scan.table)
+        if filter_node is None:
+            box: BoxCondition | None = BoxCondition({})
+        else:
+            box = self._predicate_box(filter_node.predicate, table)
+            if box is None:
+                return None
+
+        pk_column = table.primary_key
+        count_total = 0
+        terms: list[float] = []
+        for position, row in enumerate(summary.rows):
+            match = summary.classify_row(position, box, pk_column=pk_column)
+            if match is None:
+                continue
+            matched = self._row_matched_count(summary, position, row, match)
+            if matched is None:
+                return None
+            if matched == 0:
+                continue
+            count_total += matched
+            if column == pk_column:
+                if match.partial_fks:
+                    return None  # matching pks scattered by the fk spread
                 if match.pk_window is not None:
-                    # Offsets are pk indices shifted by the segment start, so
-                    # a pk window is an offset range; prefix-count differences
-                    # of the round-robin spread count its joining tuples.
-                    start, _end = fk_summary.pk_interval_of_row(position)
-                    row_joined = 0
-                    for piece in match.pk_window:
-                        low = int(math.ceil(piece.low)) - start
-                        high = low + piece.count_integers()
-                        row_joined += ref.count_matching_offsets(
-                            high, allowed
-                        ) - ref.count_matching_offsets(low, allowed)
-                    row_filter = match.pk_window.count_integers()
-                elif own_fk is not None:
-                    row_joined = ref.count_matching_offsets(count, allowed)
-                    row_filter = own_fk[1]
+                    terms.append(match.pk_window.sum_integers())
                 else:
-                    row_joined = ref.count_matching_offsets(count, allowed)
-                    row_filter = count
+                    start, end = summary.pk_interval_of_row(position)
+                    terms.append(Interval(float(start), float(end)).sum_integers())
+            elif column in row.fk_refs:
+                return None  # round-robin targets vary per tuple
             else:
-                # The FK column is generated as a constant representative
-                # value for every tuple of this row.
-                value = float(row.values.get(fk_column, 0.0))
-                row_filter = (
-                    match.pk_window.count_integers()
-                    if match.pk_window is not None
-                    else count
-                )
-                row_joined = row_filter if ref_intervals.contains(value) else 0
-            filter_matched += row_filter
-            joined += row_joined
-        return filter_matched, joined
+                terms.append(matched * float(row.values.get(column, 0.0)))
+        total = math.fsum(terms)
+
+        if self.annotate:
+            scan.cardinality = provider.row_count
+            if filter_node is not None:
+                filter_node.cardinality = count_total
+        return count_total, total
 
 
 def _hash_join_indices(

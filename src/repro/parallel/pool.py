@@ -48,7 +48,7 @@ from ..catalog.schema import Table
 from ..core.errors import ParallelGenerationError
 from ..core.summary import RelationSummary
 from ..core.tuplegen import TupleGenerator
-from ..sql.expressions import BoxCondition
+from ..sql.predicates import BoxCondition
 from .sharding import ShardPlan
 
 __all__ = ["default_min_parallel_rows", "default_workers", "iter_parallel_blocks"]

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 from ..core.summary import RelationSummary
 from ..core.tuplegen import first_owned_batch_start
-from ..sql.expressions import BoxCondition
+from ..sql.predicates import BoxCondition
 
 __all__ = ["Shard", "ShardPlan"]
 

@@ -1,6 +1,7 @@
-"""Query plans: logical operators, the deterministic planner and AQPs."""
+"""Query plans: logical operators, join graph, deterministic planner and AQPs."""
 
 from .aqp import AnnotatedQueryPlan, AQPEdge, map_workload, total_constraint_count
+from .joingraph import JoinEdge, JoinGraph, classify_fk_edge
 from .logical import (
     AggregateNode,
     FilterNode,
@@ -23,6 +24,8 @@ __all__ = [
     "AggregateNode",
     "AnnotatedQueryPlan",
     "FilterNode",
+    "JoinEdge",
+    "JoinGraph",
     "JoinNode",
     "PlanNode",
     "PlannerError",
@@ -31,6 +34,7 @@ __all__ = [
     "ScanPushdown",
     "build_plan",
     "choose_anchor",
+    "classify_fk_edge",
     "compute_pushdowns",
     "map_workload",
     "plan_from_dict",

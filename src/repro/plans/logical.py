@@ -18,8 +18,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
-from ..sql.expressions import Predicate, predicate_from_dict
-from ..sql.query import JoinCondition
+from ..sql.predicates import Predicate, predicate_from_dict
+from ..sql.query import DisjunctiveJoinCondition, JoinCondition, join_condition_from_dict
 
 __all__ = [
     "PlanNode",
@@ -149,11 +149,16 @@ class FilterNode(PlanNode):
 
 @dataclass
 class JoinNode(PlanNode):
-    """Equi-join of two sub-plans on a key/foreign-key condition."""
+    """Equi-join of two sub-plans on a key/foreign-key condition.
+
+    ``condition`` is normally a plain :class:`JoinCondition`; a
+    :class:`DisjunctiveJoinCondition` carries the ``(a = x OR b = y)`` shape,
+    which the engine executes on the materializing route.
+    """
 
     left: PlanNode
     right: PlanNode
-    condition: JoinCondition
+    condition: JoinCondition | DisjunctiveJoinCondition
 
     @property
     def children(self) -> tuple[PlanNode, ...]:
@@ -190,20 +195,31 @@ class ProjectNode(PlanNode):
 
 @dataclass
 class AggregateNode(PlanNode):
-    """COUNT(*) aggregate over the child's output."""
+    """Scalar aggregate (COUNT(*), SUM(col), AVG(col)) over the child's output.
+
+    ``argument`` is the aggregated column for SUM/AVG and ``None`` for
+    COUNT(*).  Serialisation omits the key when absent so pre-SUM/AVG
+    payloads round-trip unchanged.
+    """
 
     child: PlanNode
     function: str = "count"
+    argument: str | None = None
 
     @property
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
 
     def describe(self) -> str:
-        return f"Aggregate({self.function})"
+        if self.argument is None:
+            return f"Aggregate({self.function})"
+        return f"Aggregate({self.function}({self.argument}))"
 
     def to_dict(self) -> dict[str, Any]:
-        return self._base_dict(function=self.function, child=self.child.to_dict())
+        payload = self._base_dict(function=self.function, child=self.child.to_dict())
+        if self.argument is not None:
+            payload["argument"] = self.argument
+        return payload
 
 
 def leaf_scan(node: PlanNode) -> tuple[ScanNode, FilterNode | None] | None:
@@ -242,7 +258,7 @@ def plan_from_dict(payload: Mapping[str, Any]) -> PlanNode:
         node = JoinNode(
             left=plan_from_dict(payload["left"]),
             right=plan_from_dict(payload["right"]),
-            condition=JoinCondition.from_dict(payload["condition"]),
+            condition=join_condition_from_dict(payload["condition"]),
         )
     elif operator == "PROJECT":
         node = ProjectNode(
@@ -252,6 +268,7 @@ def plan_from_dict(payload: Mapping[str, Any]) -> PlanNode:
         node = AggregateNode(
             child=plan_from_dict(payload["child"]),
             function=payload.get("function", "count"),
+            argument=payload.get("argument"),
         )
     else:
         raise ValueError(f"unknown plan operator {operator!r}")

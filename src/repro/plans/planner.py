@@ -17,22 +17,30 @@ Plan shape:
   fact table in a star query — so every join step filters the anchor rather
   than multiplying it;
 * an optional ``Project`` / ``Aggregate`` on top.
+
+Structural analysis of the joins — classification, connectivity, anchor
+scoring, attachment order — lives in the :class:`~repro.plans.joingraph
+.JoinGraph` the planner builds from the query's predicate algebra; this
+module turns the graph's deterministic answers into plan trees and pushdown
+metadata.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from ..catalog.schema import Schema, Table
-from ..sql.expressions import (
+from ..sql.predicates import (
     BoxCondition,
     Interval,
     IntervalSet,
     Predicate,
     box_semantics_exact,
 )
-from ..sql.query import JoinCondition, Query
+from ..sql.query import DisjunctiveJoinCondition, JoinCondition, Query
+from .joingraph import JoinGraph, classify_fk_edge
 from .logical import (
     AggregateNode,
     FilterNode,
@@ -50,15 +58,43 @@ __all__ = [
     "PlannerError",
     "ScanPushdown",
     "build_plan",
+    "choose_anchor",
     "compute_pushdowns",
     "compute_semijoin_pushdowns",
     "exact_predicate_box",
     "fk_join_edge",
+    "parse_aggregate_projection",
 ]
 
 
 class PlannerError(ValueError):
     """Raised when no valid left-deep key/FK join plan exists for the query."""
+
+
+_AGGREGATE_PROJECTION = re.compile(r"^(count|sum|avg)\((.+)\)$", re.IGNORECASE)
+
+
+def parse_aggregate_projection(projection: list[str]) -> tuple[str, str | None] | None:
+    """``(function, argument)`` when the projection is a single aggregate.
+
+    ``["count(*)"]`` yields ``("count", None)``; ``["sum(T.C)"]`` yields
+    ``("sum", "T.C")``.  Returns ``None`` for non-aggregate projections;
+    raises :class:`PlannerError` for malformed aggregates (``count`` with a
+    column argument, ``sum``/``avg`` over ``*``).
+    """
+    if len(projection) != 1:
+        return None
+    match = _AGGREGATE_PROJECTION.match(projection[0].strip())
+    if match is None:
+        return None
+    function, argument = match.group(1).lower(), match.group(2).strip()
+    if function == "count":
+        if argument != "*":
+            raise PlannerError(f"count over a column is not supported: {projection[0]!r}")
+        return "count", None
+    if argument == "*":
+        raise PlannerError(f"{function}(*) is not a valid aggregate: {projection[0]!r}")
+    return function, argument
 
 
 def _leaf_plan(query: Query, table: str) -> PlanNode:
@@ -68,65 +104,40 @@ def _leaf_plan(query: Query, table: str) -> PlanNode:
     return node
 
 
-def _referencing_score(schema: Schema, query: Query, table: str) -> tuple[int, int]:
-    """How many of the query's joins this table participates in as the FK side."""
-    fk_side = 0
-    participations = 0
-    table_obj = schema.table(table)
-    for join in query.joins:
-        if not join.involves(table):
-            continue
-        participations += 1
-        column = join.side_column(table)
-        if table_obj.foreign_key_for(column) is not None:
-            fk_side += 1
-    return fk_side, participations
-
-
 def choose_anchor(schema: Schema, query: Query) -> str:
     """Pick the anchor (left-most) table of the left-deep join chain."""
-    if len(query.tables) == 1:
-        return query.tables[0]
-    scored = sorted(
-        query.tables,
-        key=lambda table: _referencing_score(schema, query, table),
-        reverse=True,
-    )
-    return scored[0]
+    return JoinGraph.from_query(query, schema).choose_anchor(schema)
 
 
 def build_plan(query: Query, schema: Schema) -> PlanNode:
     """Build the deterministic left-deep plan for an SPJ query."""
     query.validate(schema)
-    anchor = choose_anchor(schema, query)
+    graph = JoinGraph.from_query(query, schema)
+    anchor = graph.choose_anchor(schema)
 
     plan = _leaf_plan(query, anchor)
     joined = {anchor}
-    remaining_joins: list[JoinCondition] = list(query.joins)
+    attached_edges = 0
+    for edge, new_table in graph.left_deep_steps(anchor):
+        attached_edges += 1
+        if new_table is None:
+            # Redundant edge inside the already-joined tables: consumed
+            # without a join node (it would not change the output).
+            continue
+        plan = JoinNode(left=plan, right=_leaf_plan(query, new_table), condition=edge.condition)
+        joined.add(new_table)
 
-    while remaining_joins:
-        progressed = False
-        for join in list(remaining_joins):
-            left_in = join.left_table in joined
-            right_in = join.right_table in joined
-            if left_in and right_in:
-                # Redundant join edge within already-joined tables: apply as a
-                # join node anyway to preserve the annotation point.
-                remaining_joins.remove(join)
-                progressed = True
-                continue
-            if not left_in and not right_in:
-                continue
-            new_table = join.right_table if left_in else join.left_table
-            plan = JoinNode(left=plan, right=_leaf_plan(query, new_table), condition=join)
-            joined.add(new_table)
-            remaining_joins.remove(join)
-            progressed = True
-        if not progressed:
-            raise PlannerError(
-                f"query {query.name!r} has disconnected join graph: "
-                f"cannot reach {sorted(set(query.tables) - joined)}"
-            )
+    if attached_edges < len(graph.edges):
+        unattached = [
+            str(edge.predicate())
+            for edge in graph.edges
+            if not (edge.tables[0] in joined and edge.tables[1] in joined)
+        ]
+        raise PlannerError(
+            f"query {query.name!r} has disconnected join graph: "
+            f"cannot reach {sorted(set(query.tables) - joined)} "
+            f"via join predicate(s) {', '.join(unattached)}"
+        )
 
     unjoined = [table for table in query.tables if table not in joined]
     if unjoined:
@@ -134,11 +145,41 @@ def build_plan(query: Query, schema: Schema) -> PlanNode:
             f"query {query.name!r} lists tables with no join condition: {unjoined}"
         )
 
-    if query.projection == ["count(*)"]:
-        return AggregateNode(child=plan, function="count")
+    aggregate = parse_aggregate_projection(query.projection)
+    if aggregate is not None:
+        function, argument = aggregate
+        if argument is not None:
+            _validate_aggregate_argument(query, schema, argument)
+        return AggregateNode(child=plan, function=function, argument=argument)
     if query.projection and query.projection != ["*"]:
         return ProjectNode(child=plan, columns=list(query.projection))
     return plan
+
+
+def _validate_aggregate_argument(query: Query, schema: Schema, argument: str) -> None:
+    """Check that a SUM/AVG argument resolves to exactly one query column."""
+    if "." in argument:
+        table, column = argument.split(".", 1)
+        if table not in query.tables:
+            raise PlannerError(
+                f"aggregate argument {argument!r} references a table not in FROM"
+            )
+        if not schema.table(table).has_column(column):
+            raise PlannerError(
+                f"aggregate argument {argument!r} is not a column of {table!r}"
+            )
+        return
+    owners = [
+        table
+        for table in query.tables
+        if schema.has_table(table) and schema.table(table).has_column(argument)
+    ]
+    if not owners:
+        raise PlannerError(f"aggregate argument {argument!r} matches no query column")
+    if len(owners) > 1:
+        raise PlannerError(
+            f"aggregate argument {argument!r} is ambiguous across tables {owners}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -168,12 +209,16 @@ def compute_pushdowns(plan: PlanNode, schema: Schema) -> dict[int, ScanPushdown]
     """Per-:class:`ScanNode` projection and predicate pushdown for a plan.
 
     Walks the plan once and computes, for every scan, the columns referenced
-    anywhere upstream (join keys, filter predicates, projections — everything
-    for ``SELECT *`` style outputs) and the filter that sits directly above
-    the scan.  The execution engine uses the result to generate only the
-    requested columns of dataless relations and to evaluate pushed filters
-    batch-by-batch, keeping a scan's peak memory O(batch_size) instead of
-    O(rows × columns).  Keyed by ``node_id``.
+    anywhere upstream (join keys, filter predicates, projections, aggregate
+    arguments — everything for ``SELECT *`` style outputs) and the filter
+    that sits directly above the scan.  Join-key requirements are read off
+    the join conditions' *predicate algebra*: every qualified column
+    reference of the condition-as-predicate is required on its table, which
+    covers disjunctive joins (each alternative's key pair) with the same
+    rule as plain equi-joins.  The execution engine uses the result to
+    generate only the requested columns of dataless relations and to
+    evaluate pushed filters batch-by-batch, keeping a scan's peak memory
+    O(batch_size) instead of O(rows × columns).  Keyed by ``node_id``.
     """
     scans = [node for node in plan.iter_nodes() if isinstance(node, ScanNode)]
     if not scans:
@@ -185,6 +230,17 @@ def compute_pushdowns(plan: PlanNode, schema: Schema) -> dict[int, ScanPushdown]
     # Without a Project/Aggregate root the raw join output is the result, so
     # every column of every table is needed.
     select_all = not isinstance(plan, (ProjectNode, AggregateNode))
+
+    def require_column(name: str) -> None:
+        """Mark a (possibly qualified) referenced column as required."""
+        if "." in name:
+            table, column = name.split(".", 1)
+            if table in required:
+                required[table].add(column)
+        else:
+            for table in tables:
+                if schema.has_table(table) and schema.table(table).has_column(name):
+                    required[table].add(name)
 
     for node in plan.iter_nodes():
         if isinstance(node, FilterNode):
@@ -198,21 +254,15 @@ def compute_pushdowns(plan: PlanNode, schema: Schema) -> dict[int, ScanPushdown]
                 # flow through the scan's output.
                 required[node.table] |= node.predicate.columns()
         elif isinstance(node, JoinNode):
-            condition = node.condition
-            if condition.left_table in required:
-                required[condition.left_table].add(condition.left_column)
-            if condition.right_table in required:
-                required[condition.right_table].add(condition.right_column)
+            for ref in node.condition.as_predicate().itercolumns():
+                if ref.table in required:
+                    required[ref.table].add(ref.column)
         elif isinstance(node, ProjectNode):
             for name in node.columns:
-                if "." in name:
-                    table, column = name.split(".", 1)
-                    if table in required:
-                        required[table].add(column)
-                else:
-                    for table in tables:
-                        if schema.has_table(table) and schema.table(table).has_column(name):
-                            required[table].add(name)
+                require_column(name)
+        elif isinstance(node, AggregateNode):
+            if node.argument is not None:
+                require_column(node.argument)
 
     result: dict[int, ScanPushdown] = {}
     for scan in scans:
@@ -244,7 +294,7 @@ def exact_predicate_box(predicate: Predicate, table: Table) -> BoxCondition | No
     and ``>`` with epsilon-widened half-open intervals; routing execution or
     summary arithmetic through such a box could diverge from predicate
     evaluation on values inside the epsilon window, so those predicates are
-    rejected (see :func:`repro.sql.expressions.box_semantics_exact`).
+    rejected (see :func:`repro.sql.predicates.box_semantics_exact`).
     """
     discrete = {column.name: column.dtype.is_discrete for column in table.columns}
     if not box_semantics_exact(predicate, discrete):
@@ -256,34 +306,19 @@ def exact_predicate_box(predicate: Predicate, table: Table) -> BoxCondition | No
 
 
 def fk_join_edge(
-    condition: JoinCondition, schema: Schema
+    condition: "JoinCondition | DisjunctiveJoinCondition", schema: Schema
 ) -> tuple[str, str, str, str] | None:
     """Resolve a join condition onto the schema's foreign-key graph.
 
     Returns ``(fk_table, fk_column, ref_table, ref_column)`` when the
     condition equi-joins a foreign-key column onto the primary key it
-    references (in either orientation), else ``None``.  This is the single
-    eligibility check shared by the semi-join pushdown pass and the engine's
-    join-COUNT fast path, so the two can never disagree about which joins
-    follow an FK–PK edge.
+    references (in either orientation), else ``None``.  Kept as the
+    planner-level name of :func:`repro.plans.joingraph.classify_fk_edge` —
+    the single eligibility check shared by the semi-join pushdown pass and
+    the engine's join fast paths, so the consumers can never disagree about
+    which joins follow an FK–PK edge.
     """
-    if condition.left_table == condition.right_table:
-        return None
-    for fk_table in (condition.left_table, condition.right_table):
-        if not schema.has_table(fk_table):
-            continue
-        fk_column = condition.side_column(fk_table)
-        ref_table, ref_column = condition.other_side(fk_table)
-        fk = schema.table(fk_table).foreign_key_for(fk_column)
-        if (
-            fk is not None
-            and fk.ref_table == ref_table
-            and fk.ref_column == ref_column
-            and schema.has_table(ref_table)
-            and schema.table(ref_table).primary_key == ref_column
-        ):
-            return fk_table, fk_column, ref_table, ref_column
-    return None
+    return classify_fk_edge(condition, schema)
 
 
 def _referenced_filter_box(subtree: PlanNode, table: Table) -> BoxCondition:
@@ -321,6 +356,12 @@ def compute_semijoin_pushdowns(
     targets all fall outside those intervals can then be skipped without
     generating a tuple, and generated probe rows outside them can be masked
     before the hash probe: either way no join partner exists for them.
+
+    Join eligibility is the graph classification
+    (:func:`~repro.plans.joingraph.classify_fk_edge` via
+    :func:`fk_join_edge`): only plain equi-joins that follow a schema FK
+    edge participate — a disjunctive join never classifies, so it never
+    contributes a box.
 
     The projection is a sound superset of the referenced pks that survive
     into the build side, so skipping/masking never changes the join output.

@@ -1,23 +1,40 @@
-"""Predicate algebra: intervals, interval sets and filter expressions.
+"""Deprecated alias of :mod:`repro.sql.predicates`.
 
-Every selection predicate that HYDRA handles is normalised into a *conjunctive
-box condition*: a mapping ``column -> IntervalSet`` where an
-:class:`IntervalSet` is a union of disjoint half-open intervals over the
-column's internal numeric domain.  This normal form is what the
-region-partitioning algorithm (``repro.core.regions``) and the grid baseline
-operate on, and it is rich enough to express the SPJ workloads of the paper
-(range predicates, equalities, IN-lists and their conjunctions), plus the
-disjunctions that arise when a referenced relation's matching regions are
-projected onto a foreign-key column.
+The predicate algebra moved to ``repro.sql.predicates`` when it grew the
+``AbstractPredicate`` hierarchy (join/filter classification, NNF/CNF
+normalisation, canonical hashing).  This module re-exports every pre-move
+name so existing imports keep working, and emits a single
+:class:`DeprecationWarning` on first import.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+import warnings
 
-import numpy as np
+from .predicates import (  # noqa: F401
+    _EPSILON_SCALE,
+    AbstractPredicate,
+    And,
+    BasePredicate,
+    BinaryPredicate,
+    BoxCondition,
+    ColumnComparison,
+    ColumnCondition,
+    ColumnRef,
+    Comparison,
+    CompoundPredicate,
+    InList,
+    Interval,
+    IntervalSet,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    box_semantics_exact,
+    columns_with_dependencies,
+    predicate_from_dict,
+    split_conjuncts,
+)
 
 __all__ = [
     "Interval",
@@ -36,792 +53,8 @@ __all__ = [
     "predicate_from_dict",
 ]
 
-
-def columns_with_dependencies(
-    requested: Sequence[str], dependencies: Iterable[str]
-) -> list[str]:
-    """``requested`` plus any filter-dependency columns not already in it.
-
-    Shared by every filtered-scan layer (tuple generator, datagen relation,
-    execution engine) so the column-augmentation rule — requested order
-    preserved, missing dependencies appended in sorted order — cannot drift
-    between them.
-    """
-    requested = list(requested)
-    present = set(requested)
-    return requested + [name for name in sorted(dependencies) if name not in present]
-
-_EPSILON_SCALE = 1e-9
-
-
-@dataclass(frozen=True, order=True)
-class Interval:
-    """A half-open interval ``[low, high)`` over the internal numeric domain."""
-
-    low: float
-    high: float
-
-    def __post_init__(self) -> None:
-        if math.isnan(self.low) or math.isnan(self.high):
-            raise ValueError("interval bounds must not be NaN")
-        # Normalise to float so serialisation is canonical regardless of
-        # whether bounds were provided as ints or floats.
-        object.__setattr__(self, "low", float(self.low))
-        object.__setattr__(self, "high", float(self.high))
-
-    @property
-    def is_empty(self) -> bool:
-        return self.high <= self.low
-
-    @property
-    def width(self) -> float:
-        return max(0.0, self.high - self.low)
-
-    def contains(self, value: float) -> bool:
-        return self.low <= value < self.high
-
-    def intersect(self, other: "Interval") -> "Interval":
-        return Interval(max(self.low, other.low), min(self.high, other.high))
-
-    def overlaps(self, other: "Interval") -> bool:
-        return max(self.low, other.low) < min(self.high, other.high)
-
-    def midpoint(self) -> float:
-        if math.isinf(self.low) and math.isinf(self.high):
-            return 0.0
-        if math.isinf(self.low):
-            return self.high - 1.0
-        if math.isinf(self.high):
-            return self.low
-        return (self.low + self.high) / 2.0
-
-    def representative(self, discrete: bool = True) -> float:
-        """A concrete value inside the interval (the lowest usable point)."""
-        if self.is_empty:
-            raise ValueError("empty interval has no representative")
-        if math.isinf(self.low):
-            candidate = self.high - 1.0 if not math.isinf(self.high) else 0.0
-        else:
-            candidate = self.low
-        if discrete:
-            candidate = math.ceil(candidate)
-            if candidate >= self.high:
-                raise ValueError(
-                    f"interval [{self.low}, {self.high}) contains no integer point"
-                )
-        return float(candidate)
-
-    def count_integers(self) -> int:
-        """Number of integer points inside the interval (may be 0)."""
-        if self.is_empty:
-            return 0
-        low = math.ceil(self.low) if not math.isinf(self.low) else None
-        high = math.ceil(self.high) if not math.isinf(self.high) else None
-        if low is None or high is None:
-            raise ValueError("cannot count integers of an unbounded interval")
-        return max(0, high - low)
-
-    def to_dict(self) -> dict[str, float]:
-        return {"low": self.low, "high": self.high}
-
-    @classmethod
-    def from_dict(cls, payload: Mapping[str, float]) -> "Interval":
-        return cls(float(payload["low"]), float(payload["high"]))
-
-    @classmethod
-    def everything(cls) -> "Interval":
-        return cls(-math.inf, math.inf)
-
-    @classmethod
-    def point(cls, value: float, discrete: bool = True) -> "Interval":
-        """Interval containing exactly one value (``[v, v+1)`` for discrete)."""
-        if discrete:
-            return cls(float(value), float(value) + 1.0)
-        eps = max(abs(value), 1.0) * _EPSILON_SCALE
-        return cls(float(value), float(value) + eps)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"[{self.low}, {self.high})"
-
-
-class IntervalSet:
-    """A union of disjoint, sorted, half-open intervals.
-
-    Supports the set algebra (intersection, union, difference) needed to split
-    the value space into regions, plus point membership and vectorised
-    membership tests for predicate evaluation.
-    """
-
-    __slots__ = ("intervals",)
-
-    def __init__(self, intervals: Iterable[Interval] = ()):
-        self.intervals: tuple[Interval, ...] = self._normalise(intervals)
-
-    @staticmethod
-    def _normalise(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
-        items = sorted(
-            (interval for interval in intervals if not interval.is_empty),
-            key=lambda iv: (iv.low, iv.high),
-        )
-        merged: list[Interval] = []
-        for interval in items:
-            if merged and interval.low <= merged[-1].high:
-                last = merged[-1]
-                merged[-1] = Interval(last.low, max(last.high, interval.high))
-            else:
-                merged.append(interval)
-        return tuple(merged)
-
-    # -- constructors ----------------------------------------------------
-
-    @classmethod
-    def everything(cls) -> "IntervalSet":
-        return cls([Interval.everything()])
-
-    @classmethod
-    def empty(cls) -> "IntervalSet":
-        return cls([])
-
-    @classmethod
-    def single(cls, low: float, high: float) -> "IntervalSet":
-        return cls([Interval(low, high)])
-
-    @classmethod
-    def point(cls, value: float, discrete: bool = True) -> "IntervalSet":
-        return cls([Interval.point(value, discrete=discrete)])
-
-    @classmethod
-    def points(cls, values: Iterable[float], discrete: bool = True) -> "IntervalSet":
-        return cls([Interval.point(v, discrete=discrete) for v in values])
-
-    # -- predicates ------------------------------------------------------
-
-    @property
-    def is_empty(self) -> bool:
-        return not self.intervals
-
-    @property
-    def is_everything(self) -> bool:
-        return (
-            len(self.intervals) == 1
-            and math.isinf(self.intervals[0].low)
-            and self.intervals[0].low < 0
-            and math.isinf(self.intervals[0].high)
-            and self.intervals[0].high > 0
-        )
-
-    def contains(self, value: float) -> bool:
-        for interval in self.intervals:
-            if interval.contains(value):
-                return True
-            if value < interval.low:
-                return False
-        return False
-
-    def contains_set(self, other: "IntervalSet") -> bool:
-        """True if ``other`` is a subset of this set."""
-        return other.subtract(self).is_empty
-
-    def membership_mask(self, values: np.ndarray) -> np.ndarray:
-        """Vectorised membership test over an array of values."""
-        values = np.asarray(values, dtype=np.float64)
-        mask = np.zeros(values.shape, dtype=bool)
-        for interval in self.intervals:
-            mask |= (values >= interval.low) & (values < interval.high)
-        return mask
-
-    # -- algebra ---------------------------------------------------------
-
-    def intersect(self, other: "IntervalSet") -> "IntervalSet":
-        result: list[Interval] = []
-        for a in self.intervals:
-            for b in other.intervals:
-                piece = a.intersect(b)
-                if not piece.is_empty:
-                    result.append(piece)
-        return IntervalSet(result)
-
-    def union(self, other: "IntervalSet") -> "IntervalSet":
-        return IntervalSet(list(self.intervals) + list(other.intervals))
-
-    def subtract(self, other: "IntervalSet") -> "IntervalSet":
-        remaining = list(self.intervals)
-        for cut in other.intervals:
-            next_remaining: list[Interval] = []
-            for interval in remaining:
-                if not interval.overlaps(cut):
-                    next_remaining.append(interval)
-                    continue
-                left = Interval(interval.low, min(interval.high, cut.low))
-                right = Interval(max(interval.low, cut.high), interval.high)
-                if not left.is_empty:
-                    next_remaining.append(left)
-                if not right.is_empty:
-                    next_remaining.append(right)
-            remaining = next_remaining
-        return IntervalSet(remaining)
-
-    def complement(self) -> "IntervalSet":
-        return IntervalSet.everything().subtract(self)
-
-    # -- measurements ----------------------------------------------------
-
-    def total_width(self) -> float:
-        return sum(interval.width for interval in self.intervals)
-
-    def count_integers(self) -> int:
-        return sum(interval.count_integers() for interval in self.intervals)
-
-    def representative(self, discrete: bool = True) -> float:
-        for interval in self.intervals:
-            try:
-                return interval.representative(discrete=discrete)
-            except ValueError:
-                continue
-        raise ValueError("interval set has no representative point")
-
-    def bounds(self) -> tuple[float, float]:
-        if self.is_empty:
-            raise ValueError("empty interval set has no bounds")
-        return self.intervals[0].low, self.intervals[-1].high
-
-    # -- serialisation / dunder -----------------------------------------
-
-    def to_dict(self) -> list[dict[str, float]]:
-        return [interval.to_dict() for interval in self.intervals]
-
-    @classmethod
-    def from_dict(cls, payload: Sequence[Mapping[str, float]]) -> "IntervalSet":
-        return cls([Interval.from_dict(item) for item in payload])
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, IntervalSet):
-            return NotImplemented
-        return self.intervals == other.intervals
-
-    def __hash__(self) -> int:
-        return hash(self.intervals)
-
-    def __iter__(self):
-        return iter(self.intervals)
-
-    def __len__(self) -> int:
-        return len(self.intervals)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        if self.is_empty:
-            return "IntervalSet(∅)"
-        return "IntervalSet(" + " ∪ ".join(repr(iv) for iv in self.intervals) + ")"
-
-
-# ---------------------------------------------------------------------------
-# Predicate AST
-# ---------------------------------------------------------------------------
-
-
-class Predicate:
-    """Base class of the filter expression AST."""
-
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
-        """Return a boolean mask for each row of the given column arrays."""
-        raise NotImplementedError
-
-    def evaluate_row(self, row: Mapping[str, float]) -> bool:
-        """Evaluate against a single row (mapping column -> encoded value)."""
-        columns = {name: np.asarray([value], dtype=np.float64) for name, value in row.items()}
-        return bool(self.evaluate(columns)[0])
-
-    def columns(self) -> set[str]:
-        """The set of column names referenced by the predicate."""
-        raise NotImplementedError
-
-    def to_box(self, discrete_columns: Mapping[str, bool] | None = None) -> "BoxCondition":
-        """Normalise to a conjunctive box condition.
-
-        Raises :class:`ValueError` when the predicate is not expressible as a
-        conjunction of per-column interval-set conditions (the workloads the
-        paper targets always are).
-        """
-        raise NotImplementedError
-
-    def to_dict(self) -> dict[str, Any]:
-        raise NotImplementedError
-
-    def __and__(self, other: "Predicate") -> "Predicate":
-        return And([self, other])
-
-    def __or__(self, other: "Predicate") -> "Predicate":
-        return Or([self, other])
-
-
-@dataclass(frozen=True)
-class TruePredicate(Predicate):
-    """The always-true predicate (no filter)."""
-
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
-        length = len(next(iter(columns.values()))) if columns else 0
-        return np.ones(length, dtype=bool)
-
-    def columns(self) -> set[str]:
-        return set()
-
-    def to_box(self, discrete_columns: Mapping[str, bool] | None = None) -> "BoxCondition":
-        return BoxCondition({})
-
-    def to_dict(self) -> dict[str, Any]:
-        return {"op": "true"}
-
-    def __repr__(self) -> str:
-        return "TRUE"
-
-
-_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
-
-
-@dataclass(frozen=True)
-class Comparison(Predicate):
-    """``column <op> constant`` with a numeric (encoded) constant."""
-
-    column: str
-    op: str
-    value: float
-
-    def __post_init__(self) -> None:
-        if self.op not in _COMPARISON_OPS:
-            raise ValueError(f"unsupported comparison operator {self.op!r}")
-
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
-        values = np.asarray(columns[self.column], dtype=np.float64)
-        if self.op == "=":
-            return values == self.value
-        if self.op == "!=":
-            return values != self.value
-        if self.op == "<":
-            return values < self.value
-        if self.op == "<=":
-            return values <= self.value
-        if self.op == ">":
-            return values > self.value
-        return values >= self.value
-
-    def columns(self) -> set[str]:
-        return {self.column}
-
-    def to_box(self, discrete_columns: Mapping[str, bool] | None = None) -> "BoxCondition":
-        discrete = True
-        if discrete_columns is not None:
-            discrete = discrete_columns.get(self.column, True)
-        step = 1.0 if discrete else max(abs(self.value), 1.0) * _EPSILON_SCALE
-        if self.op == "=":
-            interval_set = IntervalSet.point(self.value, discrete=discrete)
-        elif self.op == "!=":
-            interval_set = IntervalSet.point(self.value, discrete=discrete).complement()
-        elif self.op == "<":
-            interval_set = IntervalSet.single(-math.inf, self.value)
-        elif self.op == "<=":
-            interval_set = IntervalSet.single(-math.inf, self.value + step)
-        elif self.op == ">":
-            interval_set = IntervalSet.single(self.value + step, math.inf)
-        else:  # >=
-            interval_set = IntervalSet.single(self.value, math.inf)
-        return BoxCondition({self.column: interval_set})
-
-    def to_dict(self) -> dict[str, Any]:
-        return {"op": self.op, "column": self.column, "value": self.value}
-
-    def __repr__(self) -> str:
-        return f"{self.column} {self.op} {self.value}"
-
-
-@dataclass(frozen=True)
-class InList(Predicate):
-    """``column IN (v1, v2, ...)`` over encoded constants."""
-
-    column: str
-    values: tuple[float, ...]
-
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
-        values = np.asarray(columns[self.column], dtype=np.float64)
-        return np.isin(values, np.asarray(self.values, dtype=np.float64))
-
-    def columns(self) -> set[str]:
-        return {self.column}
-
-    def to_box(self, discrete_columns: Mapping[str, bool] | None = None) -> "BoxCondition":
-        discrete = True
-        if discrete_columns is not None:
-            discrete = discrete_columns.get(self.column, True)
-        return BoxCondition({self.column: IntervalSet.points(self.values, discrete=discrete)})
-
-    def to_dict(self) -> dict[str, Any]:
-        return {"op": "in", "column": self.column, "values": list(self.values)}
-
-    def __repr__(self) -> str:
-        return f"{self.column} IN {self.values}"
-
-
-@dataclass(frozen=True)
-class And(Predicate):
-    """Conjunction of child predicates."""
-
-    children: tuple[Predicate, ...]
-
-    def __init__(self, children: Iterable[Predicate]):
-        object.__setattr__(self, "children", tuple(children))
-
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
-        if not self.children:
-            return TruePredicate().evaluate(columns)
-        mask = self.children[0].evaluate(columns)
-        for child in self.children[1:]:
-            mask = mask & child.evaluate(columns)
-        return mask
-
-    def columns(self) -> set[str]:
-        names: set[str] = set()
-        for child in self.children:
-            names |= child.columns()
-        return names
-
-    def to_box(self, discrete_columns: Mapping[str, bool] | None = None) -> "BoxCondition":
-        box = BoxCondition({})
-        for child in self.children:
-            box = box.intersect(child.to_box(discrete_columns))
-        return box
-
-    def to_dict(self) -> dict[str, Any]:
-        return {"op": "and", "children": [child.to_dict() for child in self.children]}
-
-    def __repr__(self) -> str:
-        return "(" + " AND ".join(repr(child) for child in self.children) + ")"
-
-
-@dataclass(frozen=True)
-class Or(Predicate):
-    """Disjunction of child predicates.
-
-    Only single-column disjunctions (which normalise to an interval-set on
-    that column) can be converted to a box condition.
-    """
-
-    children: tuple[Predicate, ...]
-
-    def __init__(self, children: Iterable[Predicate]):
-        object.__setattr__(self, "children", tuple(children))
-
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
-        if not self.children:
-            length = len(next(iter(columns.values()))) if columns else 0
-            return np.zeros(length, dtype=bool)
-        mask = self.children[0].evaluate(columns)
-        for child in self.children[1:]:
-            mask = mask | child.evaluate(columns)
-        return mask
-
-    def columns(self) -> set[str]:
-        names: set[str] = set()
-        for child in self.children:
-            names |= child.columns()
-        return names
-
-    def to_box(self, discrete_columns: Mapping[str, bool] | None = None) -> "BoxCondition":
-        if not self.children:
-            # The empty disjunction evaluates to all-false; ``BoxCondition({})``
-            # would be the match-all box, silently flipping the semantics for
-            # every box-routed consumer (filter pushdown, summary counting).
-            return BoxCondition.never()
-        referenced = self.columns()
-        if len(referenced) > 1:
-            raise ValueError(
-                "disjunctions across multiple columns cannot be normalised to a box"
-            )
-        column = next(iter(referenced)) if referenced else None
-        if column is None:
-            # Column-free children have constant verdicts (TruePredicate,
-            # nested empty disjunctions): the disjunction holds iff any child
-            # normalises to a satisfiable box.
-            if any(not child.to_box(discrete_columns).is_empty for child in self.children):
-                return BoxCondition({})
-            return BoxCondition.never()
-        combined = IntervalSet.empty()
-        for child in self.children:
-            child_box = child.to_box(discrete_columns)
-            if child_box.is_empty:
-                # An unsatisfiable disjunct (e.g. a nested empty disjunction)
-                # contributes nothing; asking it for the column's condition
-                # would return the unconstrained interval set and silently
-                # flip the disjunction to match-all.
-                continue
-            combined = combined.union(child_box.condition_for(column))
-        return BoxCondition({column: combined})
-
-    def to_dict(self) -> dict[str, Any]:
-        return {"op": "or", "children": [child.to_dict() for child in self.children]}
-
-    def __repr__(self) -> str:
-        return "(" + " OR ".join(repr(child) for child in self.children) + ")"
-
-
-@dataclass(frozen=True)
-class Not(Predicate):
-    """Negation of a single-column predicate."""
-
-    child: Predicate
-
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
-        return ~self.child.evaluate(columns)
-
-    def columns(self) -> set[str]:
-        return self.child.columns()
-
-    def to_box(self, discrete_columns: Mapping[str, bool] | None = None) -> "BoxCondition":
-        referenced = self.child.columns()
-        if len(referenced) != 1:
-            raise ValueError("only single-column negations can be normalised to a box")
-        column = next(iter(referenced))
-        child_box = self.child.to_box(discrete_columns)
-        if not child_box.satisfiable:
-            # NOT of a flag-unsatisfiable child (e.g. AND with an empty
-            # disjunction) holds everywhere; the child's per-column intervals
-            # are irrelevant and complementing them would be unsound.
-            return BoxCondition({})
-        return BoxCondition({column: child_box.condition_for(column).complement()})
-
-    def to_dict(self) -> dict[str, Any]:
-        return {"op": "not", "child": self.child.to_dict()}
-
-    def __repr__(self) -> str:
-        return f"NOT ({self.child!r})"
-
-
-# ---------------------------------------------------------------------------
-# Conjunctive box conditions
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class ColumnCondition:
-    """A single column restricted to an interval set (used for reporting)."""
-
-    column: str
-    intervals: IntervalSet
-
-
-class BoxCondition:
-    """A conjunctive condition: each constrained column limited to an interval set.
-
-    Columns not present are unconstrained.  This is the canonical constraint
-    form consumed by the LP formulator: every workload predicate, and every
-    predicate borrowed across a key/foreign-key join, ends up as one of these.
-
-    ``satisfiable=False`` marks the *falsum* box (no tuple can ever match) —
-    needed because a column-free contradiction such as the empty disjunction
-    has no per-column interval set to carry its emptiness.
-    """
-
-    __slots__ = ("conditions", "satisfiable")
-
-    def __init__(self, conditions: Mapping[str, IntervalSet], satisfiable: bool = True):
-        cleaned = {
-            column: interval_set
-            for column, interval_set in conditions.items()
-            if not interval_set.is_everything
-        }
-        self.conditions: dict[str, IntervalSet] = dict(sorted(cleaned.items()))
-        self.satisfiable: bool = bool(satisfiable)
-
-    @classmethod
-    def never(cls) -> "BoxCondition":
-        """The unsatisfiable box: matches no tuple on any relation."""
-        return cls({}, satisfiable=False)
-
-    # -- basic accessors -------------------------------------------------
-
-    @property
-    def is_unconstrained(self) -> bool:
-        return self.satisfiable and not self.conditions
-
-    @property
-    def is_empty(self) -> bool:
-        return not self.satisfiable or any(
-            interval_set.is_empty for interval_set in self.conditions.values()
-        )
-
-    def columns(self) -> set[str]:
-        return set(self.conditions)
-
-    def condition_for(self, column: str) -> IntervalSet:
-        return self.conditions.get(column, IntervalSet.everything())
-
-    # -- algebra ---------------------------------------------------------
-
-    def intersect(self, other: "BoxCondition") -> "BoxCondition":
-        conditions: dict[str, IntervalSet] = dict(self.conditions)
-        for column, interval_set in other.conditions.items():
-            if column in conditions:
-                conditions[column] = conditions[column].intersect(interval_set)
-            else:
-                conditions[column] = interval_set
-        return BoxCondition(conditions, satisfiable=self.satisfiable and other.satisfiable)
-
-    def with_condition(self, column: str, intervals: IntervalSet) -> "BoxCondition":
-        conditions = dict(self.conditions)
-        conditions[column] = self.condition_for(column).intersect(intervals)
-        return BoxCondition(conditions, satisfiable=self.satisfiable)
-
-    # -- evaluation ------------------------------------------------------
-
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
-        length = len(next(iter(columns.values()))) if columns else 0
-        if not self.satisfiable:
-            return np.zeros(length, dtype=bool)
-        mask = np.ones(length, dtype=bool)
-        for column, interval_set in self.conditions.items():
-            mask &= interval_set.membership_mask(np.asarray(columns[column]))
-        return mask
-
-    def contains_point(self, point: Mapping[str, float]) -> bool:
-        if not self.satisfiable:
-            return False
-        for column, interval_set in self.conditions.items():
-            if column not in point:
-                return False
-            if not interval_set.contains(point[column]):
-                return False
-        return True
-
-    # -- serialisation / dunder -----------------------------------------
-
-    def to_predicate(self) -> Predicate:
-        """Convert back to a predicate AST (for execution / verification)."""
-        if not self.satisfiable:
-            return Or(())
-        children: list[Predicate] = []
-        for column, interval_set in self.conditions.items():
-            column_children: list[Predicate] = []
-            for interval in interval_set:
-                parts: list[Predicate] = []
-                if not math.isinf(interval.low):
-                    parts.append(Comparison(column, ">=", interval.low))
-                if not math.isinf(interval.high):
-                    parts.append(Comparison(column, "<", interval.high))
-                if not parts:
-                    parts.append(TruePredicate())
-                column_children.append(And(parts) if len(parts) > 1 else parts[0])
-            if len(column_children) == 1:
-                children.append(column_children[0])
-            else:
-                children.append(Or(column_children))
-        if not children:
-            return TruePredicate()
-        if len(children) == 1:
-            return children[0]
-        return And(children)
-
-    def to_dict(self) -> dict[str, Any]:
-        payload: dict[str, Any] = {
-            column: interval_set.to_dict()
-            for column, interval_set in self.conditions.items()
-        }
-        if not self.satisfiable:
-            payload["__unsatisfiable__"] = True
-        return payload
-
-    @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "BoxCondition":
-        return cls(
-            {
-                column: IntervalSet.from_dict(item)
-                for column, item in payload.items()
-                if column != "__unsatisfiable__"
-            },
-            satisfiable=not payload.get("__unsatisfiable__", False),
-        )
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, BoxCondition):
-            return NotImplemented
-        return self.satisfiable == other.satisfiable and self.conditions == other.conditions
-
-    def __hash__(self) -> int:
-        return hash((self.satisfiable, tuple(self.conditions.items())))
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        if not self.satisfiable:
-            return "BoxCondition(FALSE)"
-        if self.is_unconstrained:
-            return "BoxCondition(TRUE)"
-        parts = [f"{column} ∈ {interval_set!r}" for column, interval_set in self.conditions.items()]
-        return "BoxCondition(" + " ∧ ".join(parts) + ")"
-
-
-# ---------------------------------------------------------------------------
-# Box-conversion exactness
-# ---------------------------------------------------------------------------
-
-
-def box_semantics_exact(predicate: Predicate, discrete_columns: Mapping[str, bool]) -> bool:
-    """Whether ``predicate.to_box(discrete_columns)`` is *exactly* equivalent.
-
-    ``discrete_columns`` maps every known column of the relation to whether
-    its internal domain is discrete (integral); a column absent from the
-    mapping is unknown and makes the predicate inexact, so that unknown
-    columns surface as errors on every execution route instead of being
-    silently counted against a summary default value.
-
-    Exactness composes: intersections/unions/complements of exact per-column
-    interval sets stay exact, so only the leaves matter.  A comparison on a
-    discrete column is exact only for integral constants (``qty = 2.5``
-    matches nothing, but its box ``[2.5, 3.5)`` matches 3); on a continuous
-    column only ``<`` and ``>=`` avoid the epsilon approximation.
-    """
-    if isinstance(predicate, TruePredicate):
-        return True
-    if isinstance(predicate, Comparison):
-        if predicate.column not in discrete_columns:
-            return False
-        if predicate.op in ("<", ">="):
-            return True
-        # =, !=, <= and > round the bound to the next representable point.
-        return (
-            discrete_columns[predicate.column]
-            and float(predicate.value).is_integer()
-        )
-    if isinstance(predicate, InList):
-        return (
-            predicate.column in discrete_columns
-            and discrete_columns[predicate.column]
-            and all(float(value).is_integer() for value in predicate.values)
-        )
-    if isinstance(predicate, And):
-        return all(box_semantics_exact(child, discrete_columns) for child in predicate.children)
-    if isinstance(predicate, Or):
-        # The empty disjunction normalises to the unsatisfiable box, which is
-        # exactly its all-false evaluation semantics.
-        return all(box_semantics_exact(child, discrete_columns) for child in predicate.children)
-    if isinstance(predicate, Not):
-        return box_semantics_exact(predicate.child, discrete_columns)
-    return False
-
-
-# ---------------------------------------------------------------------------
-# Deserialisation
-# ---------------------------------------------------------------------------
-
-
-def predicate_from_dict(payload: Mapping[str, Any]) -> Predicate:
-    """Inverse of :meth:`Predicate.to_dict` for every AST node type."""
-    op = payload["op"]
-    if op == "true":
-        return TruePredicate()
-    if op == "in":
-        return InList(payload["column"], tuple(float(v) for v in payload["values"]))
-    if op == "and":
-        return And([predicate_from_dict(child) for child in payload["children"]])
-    if op == "or":
-        return Or([predicate_from_dict(child) for child in payload["children"]])
-    if op == "not":
-        return Not(predicate_from_dict(payload["child"]))
-    if op in _COMPARISON_OPS:
-        return Comparison(payload["column"], op, float(payload["value"]))
-    raise ValueError(f"unknown predicate op {op!r}")
+warnings.warn(
+    "repro.sql.expressions is deprecated; import from repro.sql.predicates instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -6,14 +6,17 @@ The demo's workloads are canonical SPJ queries (Figure 1b):
     WHERE R.S_fk = S.S_pk AND R.T_fk = T.T_pk
       AND S.A >= 20 AND S.A < 60 AND T.C >= 2 AND T.C < 3
 
-The parser supports ``SELECT <cols | * | COUNT(*)> FROM <tables> [WHERE ...]``
-where the WHERE clause is a conjunction of:
+The parser supports ``SELECT <cols | * | COUNT(*) | SUM(col) | AVG(col)>
+FROM <tables> [WHERE ...]`` where the WHERE clause is a conjunction of:
 
 * equi-join conditions ``t1.c1 = t2.c2``;
 * comparisons ``col <op> constant`` with numeric, quoted-string or date
   constants (strings/dates are encoded through the column's type);
 * ``col BETWEEN a AND b``;
-* ``col IN (v1, v2, ...)``.
+* ``col IN (v1, v2, ...)``;
+* parenthesized disjunctions ``(cond OR cond ...)`` whose branches are either
+  all filters on one table (a disjunctive filter) or all equi-joins between
+  one table pair (a :class:`~repro.sql.query.DisjunctiveJoinCondition`).
 
 That is exactly the query class the region-partitioning LP formulation is
 defined for, so the parser intentionally rejects anything outside it with a
@@ -26,8 +29,8 @@ import re
 from typing import Any
 
 from ..catalog.schema import Schema
-from .expressions import And, Comparison, InList, Predicate
-from .query import JoinCondition, Query
+from .predicates import And, Comparison, InList, Or, Predicate
+from .query import DisjunctiveJoinCondition, JoinCondition, Query
 
 __all__ = ["SQLParseError", "parse_query"]
 
@@ -49,7 +52,20 @@ _TOKEN_PATTERN = re.compile(
     re.VERBOSE,
 )
 
-_KEYWORDS = {"select", "from", "where", "and", "between", "in", "count", "as", "not"}
+_KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "and",
+    "or",
+    "between",
+    "in",
+    "count",
+    "sum",
+    "avg",
+    "as",
+    "not",
+}
 
 
 def _tokenize(sql: str) -> list[tuple[str, str]]:
@@ -164,6 +180,16 @@ def parse_query(sql: str, schema: Schema, name: str = "query") -> Query:
         tokens.expect_punct("*")
         tokens.expect_punct(")")
         projection = ["count(*)"]
+    elif tokens.accept_keyword("sum") or tokens.accept_keyword("avg"):
+        function = tokens.tokens[tokens.index - 1][1].lower()
+        tokens.expect_punct("(")
+        kind, argument = tokens.next()
+        if kind != "ident":
+            raise SQLParseError(
+                f"expected column argument for {function}(), found {argument!r}"
+            )
+        tokens.expect_punct(")")
+        projection = [f"{function}({argument})"]
     elif tokens.accept_punct("*"):
         projection = ["*"]
     else:
@@ -190,12 +216,15 @@ def parse_query(sql: str, schema: Schema, name: str = "query") -> Query:
         if not tokens.accept_punct(","):
             break
 
-    joins: list[JoinCondition] = []
+    joins: "list[JoinCondition | DisjunctiveJoinCondition]" = []
     per_table_filters: dict[str, list[Predicate]] = {}
 
     if tokens.accept_keyword("where"):
         while True:
-            _parse_condition(tokens, schema, tables, joins, per_table_filters)
+            if tokens.accept_punct("("):
+                _parse_or_group(tokens, schema, tables, joins, per_table_filters)
+            else:
+                _parse_condition(tokens, schema, tables, joins, per_table_filters)
             if not tokens.accept_keyword("and"):
                 break
 
@@ -218,6 +247,53 @@ def parse_query(sql: str, schema: Schema, name: str = "query") -> Query:
     )
     query.validate(schema)
     return query
+
+
+def _parse_or_group(
+    tokens: _TokenStream,
+    schema: Schema,
+    tables: list[str],
+    joins: "list[JoinCondition | DisjunctiveJoinCondition]",
+    filters: dict[str, list[Predicate]],
+) -> None:
+    """Parse ``(cond OR cond ...)`` after the opening parenthesis.
+
+    All-filter groups on a single table become one disjunctive filter
+    predicate for that table; all-join groups between a single table pair
+    become a :class:`DisjunctiveJoinCondition`.  Anything else (mixed
+    branches, filters spanning tables, joins spanning pairs) is rejected —
+    it falls outside the per-table-conjunct SPJ dialect.
+    """
+    group_joins: list[JoinCondition] = []
+    group_filters: dict[str, list[Predicate]] = {}
+    while True:
+        _parse_condition(tokens, schema, tables, group_joins, group_filters)
+        if not tokens.accept_keyword("or"):
+            break
+    tokens.expect_punct(")")
+
+    if group_joins and group_filters:
+        raise SQLParseError(
+            "a parenthesized OR group must not mix join and filter conditions"
+        )
+    if group_joins:
+        if len(group_joins) == 1:
+            joins.append(group_joins[0])
+            return
+        try:
+            joins.append(DisjunctiveJoinCondition(group_joins))
+        except ValueError as exc:
+            raise SQLParseError(str(exc)) from exc
+        return
+    if len(group_filters) != 1:
+        raise SQLParseError(
+            "a disjunctive filter must reference exactly one table, "
+            f"got {sorted(group_filters)}"
+        )
+    table, predicates = next(iter(group_filters.items()))
+    filters.setdefault(table, []).append(
+        predicates[0] if len(predicates) == 1 else Or(predicates)
+    )
 
 
 def _parse_condition(

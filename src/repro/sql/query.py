@@ -13,9 +13,21 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..catalog.schema import Schema
-from .expressions import Predicate, TruePredicate, predicate_from_dict
+from .predicates import (
+    ColumnComparison,
+    ColumnRef,
+    Or,
+    Predicate,
+    TruePredicate,
+    predicate_from_dict,
+)
 
-__all__ = ["JoinCondition", "Query"]
+__all__ = [
+    "JoinCondition",
+    "DisjunctiveJoinCondition",
+    "join_condition_from_dict",
+    "Query",
+]
 
 
 @dataclass(frozen=True)
@@ -62,11 +74,88 @@ class JoinCondition:
             right_column=payload["right_column"],
         )
 
+    def as_predicate(self) -> ColumnComparison:
+        """The join condition as a qualified column-comparison predicate."""
+        return ColumnComparison(
+            ColumnRef(self.left_table, self.left_column),
+            "=",
+            ColumnRef(self.right_table, self.right_column),
+        )
+
     def __repr__(self) -> str:
         return (
             f"{self.left_table}.{self.left_column} = "
             f"{self.right_table}.{self.right_column}"
         )
+
+
+@dataclass(frozen=True)
+class DisjunctiveJoinCondition:
+    """A disjunction of equi-joins between the same pair of tables.
+
+    The SQL shape ``(R.a = S.x OR R.b = S.y)``: every alternative must relate
+    the same two tables, so the disjunction still contributes a single edge
+    to the join graph.  A row pair matches when *any* alternative holds.
+    """
+
+    alternatives: tuple[JoinCondition, ...]
+
+    def __init__(self, alternatives: "list[JoinCondition] | tuple[JoinCondition, ...]"):
+        alternatives = tuple(alternatives)
+        if len(alternatives) < 2:
+            raise ValueError("a disjunctive join needs at least two alternatives")
+        pairs = {
+            frozenset((alt.left_table, alt.right_table)) for alt in alternatives
+        }
+        if len(pairs) != 1:
+            raise ValueError(
+                "all alternatives of a disjunctive join must relate the same table pair"
+            )
+        object.__setattr__(self, "alternatives", alternatives)
+
+    @property
+    def left_table(self) -> str:
+        """The left table (of the first alternative — all agree by table pair)."""
+        return self.alternatives[0].left_table
+
+    @property
+    def right_table(self) -> str:
+        """The right table (of the first alternative)."""
+        return self.alternatives[0].right_table
+
+    def involves(self, table: str) -> bool:
+        return table in (self.left_table, self.right_table)
+
+    def other_table(self, table: str) -> str:
+        """The table on the opposite side of ``table``."""
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise ValueError(f"join {self!r} does not involve table {table!r}")
+
+    def as_predicate(self) -> Predicate:
+        """The disjunction as an ``Or`` of column-comparison predicates."""
+        return Or([alt.as_predicate() for alt in self.alternatives])
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"alternatives": [alt.to_dict() for alt in self.alternatives]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DisjunctiveJoinCondition":
+        return cls([JoinCondition.from_dict(item) for item in payload["alternatives"]])
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(alt) for alt in self.alternatives) + ")"
+
+
+def join_condition_from_dict(
+    payload: Mapping[str, Any],
+) -> "JoinCondition | DisjunctiveJoinCondition":
+    """Deserialise either join-condition shape from its ``to_dict`` payload."""
+    if "alternatives" in payload:
+        return DisjunctiveJoinCondition.from_dict(payload)
+    return JoinCondition.from_dict(payload)
 
 
 @dataclass
@@ -75,7 +164,7 @@ class Query:
 
     name: str
     tables: list[str]
-    joins: list[JoinCondition] = field(default_factory=list)
+    joins: "list[JoinCondition | DisjunctiveJoinCondition]" = field(default_factory=list)
     filters: dict[str, Predicate] = field(default_factory=dict)
     projection: list[str] = field(default_factory=lambda: ["*"])
     sql: str = ""
@@ -88,7 +177,7 @@ class Query:
         predicate = self.filters.get(table)
         return predicate is not None and not isinstance(predicate, TruePredicate)
 
-    def joins_for(self, table: str) -> list[JoinCondition]:
+    def joins_for(self, table: str) -> "list[JoinCondition | DisjunctiveJoinCondition]":
         return [join for join in self.joins if join.involves(table)]
 
     def validate(self, schema: Schema) -> None:
@@ -96,8 +185,14 @@ class Query:
         for table_name in self.tables:
             schema.table(table_name)
         for join in self.joins:
-            schema.table(join.left_table).column(join.left_column)
-            schema.table(join.right_table).column(join.right_column)
+            conjuncts = (
+                join.alternatives
+                if isinstance(join, DisjunctiveJoinCondition)
+                else (join,)
+            )
+            for alt in conjuncts:
+                schema.table(alt.left_table).column(alt.left_column)
+                schema.table(alt.right_table).column(alt.right_column)
             if join.left_table not in self.tables or join.right_table not in self.tables:
                 raise ValueError(f"join {join!r} references a table not in FROM")
         for table_name, predicate in self.filters.items():
@@ -124,7 +219,7 @@ class Query:
         return cls(
             name=payload["name"],
             tables=list(payload["tables"]),
-            joins=[JoinCondition.from_dict(item) for item in payload.get("joins", [])],
+            joins=[join_condition_from_dict(item) for item in payload.get("joins", [])],
             filters={
                 table: predicate_from_dict(item)
                 for table, item in payload.get("filters", {}).items()

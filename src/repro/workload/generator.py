@@ -21,7 +21,7 @@ from ..catalog.metadata import DatabaseMetadata
 from ..catalog.schema import Schema, Table
 from ..catalog.statistics import ColumnStatistics
 from ..catalog.types import StringType
-from ..sql.expressions import And, Comparison, InList, Predicate
+from ..sql.predicates import And, Comparison, InList, Predicate
 from ..sql.query import JoinCondition, Query
 
 __all__ = ["WorkloadConfig", "WorkloadGenerator", "generate_workload"]

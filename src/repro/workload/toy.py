@@ -22,13 +22,35 @@ from ..catalog.types import FLOAT, INTEGER
 from ..storage.database import Database
 from ..storage.table import TableData
 
-__all__ = ["ToyConfig", "toy_schema", "generate_toy_database", "FIGURE1_QUERY"]
+__all__ = [
+    "ToyConfig",
+    "toy_schema",
+    "generate_toy_database",
+    "FIGURE1_QUERY",
+    "FIGURE1_SUM_QUERY",
+    "FIGURE1_AVG_QUERY",
+    "FIGURE1_DISJUNCTIVE_QUERY",
+]
 
 
 FIGURE1_QUERY = (
     "select * from R, S, T "
     "where R.S_fk = S.S_pk and R.T_fk = T.T_pk "
     "and S.A >= 20 and S.A < 60 and T.C >= 2 and T.C < 3"
+)
+
+# A SUM aggregate over the filtered dimension: servable straight from the
+# relation summary (matched count × constant representative per region).
+FIGURE1_SUM_QUERY = "select sum(B) from S where S.A >= 20 and S.A < 60"
+
+# The AVG twin of the SUM example (sum / count, both summary-exact).
+FIGURE1_AVG_QUERY = "select avg(B) from S where S.A >= 20 and S.A < 60"
+
+# A disjunctive join: both of R's foreign keys may carry the match.  The
+# alternatives relate the same table pair, so this is still one join edge.
+FIGURE1_DISJUNCTIVE_QUERY = (
+    "select count(*) from R, S "
+    "where (R.S_fk = S.S_pk or R.T_fk = S.S_pk) and S.A < 50"
 )
 
 

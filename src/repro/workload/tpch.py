@@ -18,7 +18,29 @@ from ..catalog.types import DATE, FLOAT, INTEGER, StringType
 from ..storage.database import Database
 from ..storage.table import TableData
 
-__all__ = ["TPCHConfig", "tpch_schema", "generate_tpch_database"]
+__all__ = [
+    "TPCHConfig",
+    "tpch_schema",
+    "generate_tpch_database",
+    "CHAIN_COUNT_QUERY",
+    "LINEITEM_SUM_QUERY",
+]
+
+
+# The snowflake chain lineitem → orders → customer: a 3-relation FK chain
+# COUNT, the shape served by the engine's multi-way summary fast path when
+# the customer filter covers whole orders regions all-or-nothing.
+CHAIN_COUNT_QUERY = (
+    "select count(*) from lineitem, orders, customer "
+    "where lineitem.l_orderkey = orders.o_orderkey "
+    "and orders.o_custkey = customer.c_custkey "
+    "and customer.c_mktsegment = 'BUILDING'"
+)
+
+# A fact-side SUM with a filter on the same relation.
+LINEITEM_SUM_QUERY = (
+    "select sum(l_quantity) from lineitem where l_shipdate >= 3000"
+)
 
 
 SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")

@@ -1,0 +1,151 @@
+"""Property-based tests for the predicate algebra (hypothesis).
+
+Random predicate trees over a small column vocabulary check that NNF/CNF
+rewrites and canonicalisation are semantics-preserving, that join/filter
+classification partitions every conjunct, and that join-graph edges
+survive a serialisation round trip.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plans.joingraph import JoinEdge
+from repro.sql.predicates import (
+    And,
+    Comparison,
+    ColumnComparison,
+    ColumnRef,
+    InList,
+    Not,
+    Or,
+    TruePredicate,
+    predicate_from_dict,
+    split_conjuncts,
+)
+from repro.sql.query import DisjunctiveJoinCondition, JoinCondition
+from repro.workload.toy import toy_schema
+
+FILTER_COLUMNS = ("a", "b", "c")
+OPS = ("=", "!=", "<", "<=", ">", ">=")
+VALUES = st.integers(min_value=-5, max_value=5).map(float)
+
+TABLE_COLUMNS = {
+    "R": ("R_pk", "S_fk", "T_fk"),
+    "S": ("S_pk", "A", "B"),
+    "T": ("T_pk", "C"),
+}
+
+
+@st.composite
+def comparisons(draw):
+    return Comparison(draw(st.sampled_from(FILTER_COLUMNS)), draw(st.sampled_from(OPS)), draw(VALUES))
+
+
+@st.composite
+def in_lists(draw):
+    values = draw(st.lists(VALUES, min_size=1, max_size=4))
+    return InList(draw(st.sampled_from(FILTER_COLUMNS)), tuple(values))
+
+
+@st.composite
+def column_comparisons(draw):
+    left_table = draw(st.sampled_from(sorted(TABLE_COLUMNS)))
+    right_table = draw(st.sampled_from(sorted(TABLE_COLUMNS)))
+    left = ColumnRef(left_table, draw(st.sampled_from(TABLE_COLUMNS[left_table])))
+    right = ColumnRef(right_table, draw(st.sampled_from(TABLE_COLUMNS[right_table])))
+    return ColumnComparison(left, draw(st.sampled_from(OPS)), right)
+
+
+def predicates():
+    leaves = st.one_of(comparisons(), in_lists(), st.just(TruePredicate()))
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.lists(children, min_size=0, max_size=3).map(lambda cs: And(cs)),
+            st.lists(children, min_size=0, max_size=3).map(lambda cs: Or(cs)),
+            children.map(Not),
+        ),
+        max_leaves=12,
+    )
+
+
+rows = st.fixed_dictionaries({column: VALUES for column in FILTER_COLUMNS})
+
+
+class TestNormalisationSemantics:
+    @given(predicates(), rows)
+    @settings(max_examples=200)
+    def test_nnf_preserves_semantics(self, pred, row):
+        assert pred.to_nnf().evaluate_row(row) == pred.evaluate_row(row)
+
+    @given(predicates(), rows)
+    @settings(max_examples=200)
+    def test_cnf_preserves_semantics(self, pred, row):
+        assert pred.to_cnf().evaluate_row(row) == pred.evaluate_row(row)
+
+    @given(predicates(), rows)
+    @settings(max_examples=200)
+    def test_canonical_preserves_semantics(self, pred, row):
+        assert pred.canonical().evaluate_row(row) == pred.evaluate_row(row)
+
+    @given(predicates())
+    @settings(max_examples=200)
+    def test_canonical_is_idempotent(self, pred):
+        canonical = pred.canonical()
+        assert canonical.canonical() == canonical
+        assert pred.equivalent(canonical)
+
+    @given(predicates())
+    @settings(max_examples=200)
+    def test_serialisation_round_trip(self, pred):
+        assert predicate_from_dict(pred.to_dict()) == pred
+
+
+class TestClassificationPartition:
+    @given(st.lists(st.one_of(comparisons(), column_comparisons()), min_size=1, max_size=5))
+    @settings(max_examples=200)
+    def test_conjuncts_are_joins_xor_filters(self, conjuncts):
+        pred = And(conjuncts)
+        for conjunct in split_conjuncts(pred):
+            assert conjunct.is_join() != conjunct.is_filter()
+            assert conjunct.is_join() == (len(conjunct.tables()) > 1)
+
+
+@st.composite
+def join_conditions(draw):
+    left_table, right_table = draw(
+        st.sampled_from([("R", "S"), ("R", "T"), ("S", "T"), ("S", "R")])
+    )
+    return JoinCondition(
+        left_table=left_table,
+        left_column=draw(st.sampled_from(TABLE_COLUMNS[left_table])),
+        right_table=right_table,
+        right_column=draw(st.sampled_from(TABLE_COLUMNS[right_table])),
+    )
+
+
+@st.composite
+def disjunctive_conditions(draw):
+    base = draw(join_conditions())
+    alternatives = [
+        JoinCondition(
+            left_table=base.left_table,
+            left_column=draw(st.sampled_from(TABLE_COLUMNS[base.left_table])),
+            right_table=base.right_table,
+            right_column=draw(st.sampled_from(TABLE_COLUMNS[base.right_table])),
+        )
+        for _ in range(draw(st.integers(min_value=2, max_value=3)))
+    ]
+    return DisjunctiveJoinCondition(tuple(alternatives))
+
+
+class TestJoinEdgeRoundTrip:
+    @given(st.one_of(join_conditions(), disjunctive_conditions()))
+    @settings(max_examples=200)
+    def test_to_dict_from_dict_is_identity(self, condition):
+        edge = JoinEdge.classify(condition, toy_schema())
+        restored = JoinEdge.from_dict(edge.to_dict())
+        assert restored == edge
+        assert restored.predicate() == edge.predicate()

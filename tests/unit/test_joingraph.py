@@ -1,0 +1,199 @@
+"""Tests for :mod:`repro.plans.joingraph` and the planner built on it.
+
+Covers FK-edge classification, connected components, chain detection,
+FK-directed chain walks, the anchor score, left-deep attachment order
+(including redundant-edge dropping) and the planner error message that
+names the offending join predicate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plans.joingraph import JoinEdge, JoinGraph, classify_fk_edge
+from repro.plans.logical import JoinNode
+from repro.plans.planner import PlannerError, build_plan, choose_anchor
+from repro.sql.parser import parse_query
+from repro.sql.query import DisjunctiveJoinCondition
+from repro.workload.tpcds import tpcds_schema
+from repro.workload.tpch import CHAIN_COUNT_QUERY, tpch_schema
+from repro.workload.toy import (
+    FIGURE1_DISJUNCTIVE_QUERY,
+    FIGURE1_QUERY,
+    toy_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return toy_schema()
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return tpch_schema()
+
+
+def _graph(sql, schema):
+    query = parse_query(sql, schema)
+    return JoinGraph.from_query(query, schema), query
+
+
+class TestClassifyFkEdge:
+    def test_fk_equi_join_classifies_in_either_orientation(self, toy):
+        for sql in (
+            "select count(*) from R, S where R.S_fk = S.S_pk",
+            "select count(*) from R, S where S.S_pk = R.S_fk",
+        ):
+            query = parse_query(sql, toy)
+            assert classify_fk_edge(query.joins[0], toy) == ("R", "S_fk", "S", "S_pk")
+
+    def test_non_fk_join_does_not_classify(self, tpch):
+        query = parse_query(
+            "select count(*) from part, supplier where part.p_partkey = supplier.s_suppkey",
+            tpch,
+        )
+        assert classify_fk_edge(query.joins[0], tpch) is None
+
+    def test_disjunctive_join_does_not_classify(self, toy):
+        query = parse_query(FIGURE1_DISJUNCTIVE_QUERY, toy)
+        condition = query.joins[0]
+        assert isinstance(condition, DisjunctiveJoinCondition)
+        assert classify_fk_edge(condition, toy) is None
+        edge = JoinEdge.classify(condition, toy)
+        assert not edge.is_fk_edge
+
+
+class TestJoinEdge:
+    def test_round_trip(self, toy):
+        query = parse_query(FIGURE1_QUERY, toy)
+        for condition in query.joins:
+            edge = JoinEdge.classify(condition, toy)
+            restored = JoinEdge.from_dict(edge.to_dict())
+            assert restored == edge
+
+    def test_disjunctive_round_trip(self, toy):
+        query = parse_query(FIGURE1_DISJUNCTIVE_QUERY, toy)
+        edge = JoinEdge.classify(query.joins[0], toy)
+        assert JoinEdge.from_dict(edge.to_dict()) == edge
+
+    def test_predicate_is_join_shaped(self, toy):
+        query = parse_query("select count(*) from R, S where R.S_fk = S.S_pk", toy)
+        edge = JoinEdge.classify(query.joins[0], toy)
+        predicate = edge.predicate()
+        assert predicate.is_join()
+        assert predicate.tables() == {"R", "S"}
+        assert edge.other_table("R") == "S"
+        with pytest.raises(ValueError):
+            edge.other_table("T")
+
+
+class TestGraphStructure:
+    def test_connected_components_single(self, tpch):
+        graph, _ = _graph(CHAIN_COUNT_QUERY, tpch)
+        assert graph.is_connected
+        assert graph.connected_components() == [["lineitem", "orders", "customer"]]
+
+    def test_connected_components_split(self, tpch):
+        graph, _ = _graph(
+            "select count(*) from orders, customer, part, supplier "
+            "where orders.o_custkey = customer.c_custkey "
+            "and part.p_partkey = supplier.s_suppkey",
+            tpch,
+        )
+        assert not graph.is_connected
+        assert graph.connected_components() == [
+            ["orders", "customer"],
+            ["part", "supplier"],
+        ]
+
+    def test_chain_detection(self, tpch):
+        graph, _ = _graph(CHAIN_COUNT_QUERY, tpch)
+        assert graph.is_chain()
+
+    def test_three_dimension_star_is_not_a_chain(self):
+        schema = tpcds_schema()
+        graph, _ = _graph(
+            "select count(*) from store_sales, item, store, date_dim "
+            "where store_sales.ss_item_sk = item.i_item_sk "
+            "and store_sales.ss_store_sk = store.s_store_sk "
+            "and store_sales.ss_sold_date_sk = date_dim.d_date_sk",
+            schema,
+        )
+        assert graph.is_connected
+        assert not graph.is_chain()
+        assert graph.neighbors("store_sales") == ("item", "store", "date_dim")
+
+    def test_fk_chain_from_anchor(self, tpch):
+        graph, _ = _graph(CHAIN_COUNT_QUERY, tpch)
+        chain = graph.fk_chain_from("lineitem")
+        assert chain is not None
+        assert [(edge.fk_table, edge.ref_table) for edge in chain] == [
+            ("lineitem", "orders"),
+            ("orders", "customer"),
+        ]
+        # Walking from the referenced end goes against the FK direction.
+        assert graph.fk_chain_from("customer") is None
+
+
+class TestAnchorChoice:
+    def test_fact_table_wins(self, tpch):
+        graph, query = _graph(CHAIN_COUNT_QUERY, tpch)
+        # orders is on the FK side of one join and participates in two.
+        assert graph.referencing_score(tpch, "orders") == (1, 2)
+        assert graph.referencing_score(tpch, "lineitem") == (1, 1)
+        assert graph.referencing_score(tpch, "customer") == (0, 1)
+        assert graph.choose_anchor(tpch) == "orders"
+        assert choose_anchor(tpch, query) == "orders"
+
+    def test_disjunctive_alternatives_count_once(self, toy):
+        graph, _ = _graph(FIGURE1_DISJUNCTIVE_QUERY, toy)
+        # Both alternatives put R on the FK side, but the edge scores once.
+        assert graph.referencing_score(toy, "R") == (1, 1)
+        assert graph.choose_anchor(toy) == "R"
+
+
+class TestLeftDeepSteps:
+    def test_attachment_order_matches_query_joins(self, tpch):
+        graph, _ = _graph(CHAIN_COUNT_QUERY, tpch)
+        steps = list(graph.left_deep_steps("orders"))
+        assert [(edge.tables, new) for edge, new in steps] == [
+            (("lineitem", "orders"), "lineitem"),
+            (("orders", "customer"), "customer"),
+        ]
+
+    def test_redundant_edge_yields_none(self, toy):
+        graph, _ = _graph(
+            "select count(*) from R, S where R.S_fk = S.S_pk and R.S_fk = S.S_pk",
+            toy,
+        )
+        steps = list(graph.left_deep_steps("R"))
+        assert [new for _, new in steps] == ["S", None]
+
+    def test_redundant_edge_produces_single_join_node(self, toy):
+        plan = build_plan(
+            parse_query(
+                "select count(*) from R, S where R.S_fk = S.S_pk and R.S_fk = S.S_pk",
+                toy,
+            ),
+            toy,
+        )
+        joins = [node for node in plan.iter_nodes() if isinstance(node, JoinNode)]
+        assert len(joins) == 1
+
+
+class TestPlannerErrors:
+    def test_disconnected_graph_error_names_predicate(self, tpch):
+        query = parse_query(
+            "select count(*) from orders, customer, part, supplier "
+            "where orders.o_custkey = customer.c_custkey "
+            "and part.p_partkey = supplier.s_suppkey",
+            tpch,
+        )
+        with pytest.raises(PlannerError, match=r"part\.p_partkey = supplier\.s_suppkey"):
+            build_plan(query, tpch)
+
+    def test_cartesian_product_rejected(self, toy):
+        query = parse_query("select count(*) from R, T where R.S_fk >= 1", toy)
+        with pytest.raises(PlannerError, match="no join condition"):
+            build_plan(query, toy)
