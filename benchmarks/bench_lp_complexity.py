@@ -69,7 +69,7 @@ def test_e3_single_relation_explosion(benchmark):
     where the grid blow-up is most visible."""
     from repro.core.grid import grid_variable_count
     from repro.core.regions import RegionPartitioner
-    from repro.sql.expressions import BoxCondition, Interval, IntervalSet
+    from repro.sql.predicates import BoxCondition, Interval, IntervalSet
 
     def box(**conditions):
         return BoxCondition(

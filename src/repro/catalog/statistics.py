@@ -11,9 +11,13 @@ constrained by any workload predicate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Sequence, TYPE_CHECKING
 
 import numpy as np
+from numpy.typing import NDArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sql.predicates import IntervalSet
 
 __all__ = ["ColumnStatistics", "TableStatistics", "build_column_statistics"]
 
@@ -61,7 +65,7 @@ class ColumnStatistics:
 
     # -- selectivity estimation -----------------------------------------
 
-    def estimate_intervals_fraction(self, intervals) -> float:
+    def estimate_intervals_fraction(self, intervals: "IntervalSet") -> float:
         """Estimate the fraction of rows whose value falls in an interval set.
 
         ``intervals`` is an :class:`repro.sql.predicates.IntervalSet`; the
@@ -147,7 +151,7 @@ class TableStatistics:
 
 def build_column_statistics(
     column: str,
-    values: Sequence[float] | np.ndarray,
+    values: Sequence[float] | NDArray[Any],
     max_mcvs: int = 10,
     histogram_buckets: int = 20,
 ) -> ColumnStatistics:

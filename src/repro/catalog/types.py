@@ -18,6 +18,7 @@ from enum import Enum
 from typing import Any, Iterable, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = [
     "TypeKind",
@@ -74,7 +75,7 @@ class DataType:
         """Map an internal numeric value back to an external value."""
         raise NotImplementedError
 
-    def encode_many(self, values: Iterable[Any]) -> np.ndarray:
+    def encode_many(self, values: Iterable[Any]) -> NDArray[Any]:
         """Vectorised :meth:`encode`."""
         return np.array([self.encode(v) for v in values], dtype=self.numpy_dtype)
 

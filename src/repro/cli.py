@@ -33,6 +33,7 @@ from .core.errors import HydraError
 from .core.pipeline import Hydra
 from .core.summary import DatabaseSummary
 from .core.tuplegen import SummaryDatabaseFactory
+from .storage.database import Database
 from .executor.rate import RateLimiter
 from .sinks import (
     EXPORT_FORMATS,
@@ -56,7 +57,7 @@ from .workload.tpch import TPCHConfig, generate_tpch_database
 __all__ = ["client_main", "vendor_main", "verify_main", "generate_main"]
 
 
-def _build_database(dataset: str, scale: float, seed: int):
+def _build_database(dataset: str, scale: float, seed: int) -> Database:
     if dataset == "tpcds":
         return generate_tpcds_database(TPCDSConfig(scale=scale, seed=seed))
     if dataset == "tpch":

@@ -20,9 +20,10 @@ for the ablation experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 from ..catalog.statistics import TableStatistics
@@ -46,7 +47,7 @@ class AlignedRelation:
     table: Table
     summary: RelationSummary
     regions: list[Region]
-    counts: np.ndarray
+    counts: NDArray[Any]
 
     def __post_init__(self) -> None:
         ordered = np.asarray(
@@ -96,7 +97,7 @@ class DeterministicAligner:
         self,
         table: Table,
         regions: Sequence[Region],
-        counts: np.ndarray | Sequence[int],
+        counts: NDArray[Any] | Sequence[int],
         ref_row_counts: Mapping[str, int] | None = None,
         domain: BoxCondition | None = None,
     ) -> AlignedRelation:

@@ -40,7 +40,9 @@ class InfeasibleConstraintsError(HydraError):
     assignments are unrealisable.
     """
 
-    def __init__(self, relation: str, message: str, residuals: dict[str, float] | None = None):
+    def __init__(
+        self, relation: str, message: str, residuals: dict[str, float] | None = None
+    ) -> None:
         super().__init__(f"constraints on relation {relation!r} are infeasible: {message}")
         self.relation = relation
         self.residuals = residuals or {}

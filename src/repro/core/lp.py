@@ -15,9 +15,10 @@ the region's signature and the constraint matrix is 0/1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .regions import Region
 
@@ -29,8 +30,8 @@ class LPProblem:
     """A per-relation cardinality LP (equality constraints, x ≥ 0)."""
 
     relation: str
-    matrix: np.ndarray                 # shape (m, n), 0/1 entries
-    rhs: np.ndarray                    # shape (m,)
+    matrix: NDArray[Any]                 # shape (m, n), 0/1 entries
+    rhs: NDArray[Any]                    # shape (m,)
     constraint_labels: list[str]       # provenance of each row (query#operator)
     region_count: int
     row_count_index: int | None = None # which row is the total-row-count row
@@ -44,11 +45,11 @@ class LPProblem:
     def num_constraints(self) -> int:
         return int(self.matrix.shape[0])
 
-    def residuals(self, solution: np.ndarray) -> np.ndarray:
+    def residuals(self, solution: NDArray[Any]) -> NDArray[Any]:
         """Signed residual ``A x − b`` of a candidate solution."""
         return self.matrix @ np.asarray(solution, dtype=np.float64) - self.rhs
 
-    def relative_errors(self, solution: np.ndarray) -> np.ndarray:
+    def relative_errors(self, solution: NDArray[Any]) -> NDArray[Any]:
         """Per-constraint relative error |A x − b| / max(b, 1)."""
         residual = np.abs(self.residuals(solution))
         scale = np.maximum(self.rhs, 1.0)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Literal, Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.metadata import DatabaseMetadata
 from ..catalog.schema import Table
@@ -173,7 +174,7 @@ class RelationBuildState:
     tracking_signature: tuple
     row_count: int
     problem: LPProblem | None = None
-    targets: np.ndarray | None = None
+    targets: NDArray[Any] | None = None
     solution: LPSolution | None = None
     fallback: bool = False
     # Checkpoint taken after the grounded constraint boxes, before the
@@ -752,8 +753,8 @@ class Hydra:
     def _remap_counts(
         prev_regions: Sequence[Region],
         regions: Sequence[Region],
-        prev_counts: np.ndarray,
-    ) -> np.ndarray | None:
+        prev_counts: NDArray[Any],
+    ) -> NDArray[Any] | None:
         """Carry per-region counts across a re-partition, matching by geometry.
 
         Only possible when the new predicates split nothing geometrically —
@@ -782,7 +783,7 @@ class Hydra:
         workload: WorkloadConstraints,
         aligned: Mapping[str, AlignedRelation],
         prev_state: RelationBuildState | None = None,
-        warm_counts: np.ndarray | None = None,
+        warm_counts: NDArray[Any] | None = None,
     ) -> tuple[RelationBuildInfo, AlignedRelation, RelationBuildState]:
         relation_constraints = workload.for_relation(table.name)
         row_count, constraints, cardinalities, constraint_signature = (
@@ -992,7 +993,7 @@ class Hydra:
             return 1.0
         return target_rows / metadata_rows
 
-    def _make_aligner(self, table: Table):
+    def _make_aligner(self, table: Table) -> SamplingAligner | DeterministicAligner:
         statistics = self.metadata.statistics.get(table.name)
         if self.alignment == "sampling":
             return SamplingAligner(statistics=statistics, seed=self.sampling_seed)
@@ -1006,7 +1007,7 @@ class Hydra:
         regions: Sequence,
         row_count: int,
         aligned: Mapping[str, AlignedRelation],
-    ) -> np.ndarray:
+    ) -> NDArray[Any]:
         """Per-region row-count estimates from the client statistics.
 
         Each region's expected size is ``row_count`` times the product of its
@@ -1182,7 +1183,7 @@ def scale_row_counts(metadata: DatabaseMetadata, factor: float) -> dict[str, int
     }
 
 
-def rounded_counts(counts: np.ndarray) -> np.ndarray:
+def rounded_counts(counts: NDArray[Any]) -> NDArray[Any]:
     """Re-exported rounding helper (kept for API stability of benchmarks)."""
     from .solver import round_preserving_total
 

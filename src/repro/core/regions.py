@@ -18,6 +18,7 @@ regions tracks the number of *realisable* predicate signatures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -40,9 +41,7 @@ def _condition_is_empty(intervals: IntervalSet, discrete: bool) -> bool:
     if not discrete:
         return False
     for interval in intervals:
-        low_inf = interval.low == float("-inf")
-        high_inf = interval.high == float("inf")
-        if low_inf or high_inf:
+        if math.isinf(interval.low) or math.isinf(interval.high):
             return False
         if interval.count_integers() > 0:
             return False

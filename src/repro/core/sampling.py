@@ -18,9 +18,10 @@ shows the residual errors the paper's deterministic strategy eliminates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 from ..catalog.statistics import TableStatistics
@@ -46,7 +47,7 @@ class SamplingAligner:
         self,
         table: Table,
         regions: Sequence[Region],
-        counts: np.ndarray | Sequence[int],
+        counts: NDArray[Any] | Sequence[int],
         ref_row_counts: Mapping[str, int] | None = None,
         domain: BoxCondition | None = None,
     ) -> AlignedRelation:
@@ -62,7 +63,7 @@ class SamplingAligner:
             domain=domain,
         )
 
-    def _sample_counts(self, counts: np.ndarray, total: int) -> np.ndarray:
+    def _sample_counts(self, counts: NDArray[Any], total: int) -> NDArray[Any]:
         """Multinomial sample with the LP solution as the expected histogram."""
         if total <= 0 or counts.sum() <= 0:
             return np.zeros(len(counts), dtype=np.int64)

@@ -34,9 +34,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Any, Literal
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .errors import InfeasibleConstraintsError, SolverError
 from .lp import LPProblem
@@ -58,12 +59,12 @@ class LPSolution:
     """Result of solving one per-relation LP."""
 
     relation: str
-    counts: np.ndarray                # fractional region counts
-    integral_counts: np.ndarray       # rounded region counts
+    counts: NDArray[Any]                # fractional region counts
+    integral_counts: NDArray[Any]       # rounded region counts
     status: str
     solve_seconds: float
-    residuals: np.ndarray             # signed A x − b at the fractional solution
-    relative_errors: np.ndarray
+    residuals: NDArray[Any]             # signed A x − b at the fractional solution
+    relative_errors: NDArray[Any]
     mode: SolveMode
     objective: float = 0.0
     metadata: dict = field(default_factory=dict)
@@ -89,8 +90,8 @@ class LPSolver:
     def solve(
         self,
         problem: LPProblem,
-        targets: np.ndarray | None = None,
-        warm_start: np.ndarray | None = None,
+        targets: NDArray[Any] | None = None,
+        warm_start: NDArray[Any] | None = None,
     ) -> LPSolution:
         """Solve one per-relation LP.
 
@@ -147,7 +148,7 @@ class LPSolver:
             )
 
     def _try_warm_start(
-        self, problem: LPProblem, candidate: np.ndarray
+        self, problem: LPProblem, candidate: NDArray[Any]
     ) -> LPSolution | None:
         """Accept a previous solution when it satisfies the LP exactly."""
         candidate = np.asarray(candidate, dtype=np.float64)
@@ -186,8 +187,8 @@ class LPSolver:
         )
 
     def _solve_exact(
-        self, problem: LPProblem, targets: np.ndarray | None = None
-    ) -> tuple[np.ndarray, str, float]:
+        self, problem: LPProblem, targets: NDArray[Any] | None = None
+    ) -> tuple[NDArray[Any], str, float]:
         self._require_scipy()
         n = problem.num_variables
         if targets is None:
@@ -240,7 +241,7 @@ class LPSolver:
             )
         return np.maximum(result.x[:n], 0.0), "optimal-guided", float(result.fun)
 
-    def _solve_soft(self, problem: LPProblem) -> tuple[np.ndarray, str, float]:
+    def _solve_soft(self, problem: LPProblem) -> tuple[NDArray[Any], str, float]:
         """Minimise the L1 norm of constraint violations.
 
         Variables: [x (regions), u (positive slack), v (negative slack)] with
@@ -278,10 +279,10 @@ class LPSolver:
 
 def repair_rounding(
     problem: LPProblem,
-    counts: np.ndarray,
+    counts: NDArray[Any],
     max_moves: int = 500,
     candidate_limit: int = 64,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Greedy integer repair of rounding noise.
 
     Largest-remainder rounding preserves the relation's total row count but
@@ -334,7 +335,7 @@ def repair_rounding(
     return counts
 
 
-def round_preserving_total(counts: np.ndarray) -> np.ndarray:
+def round_preserving_total(counts: NDArray[Any]) -> NDArray[Any]:
     """Round fractional counts to integers, preserving their sum exactly.
 
     Largest-remainder (Hamilton) rounding: floor everything, then hand out the

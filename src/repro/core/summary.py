@@ -20,9 +20,10 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, SupportsIndex
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Schema, Table
 from ..serialization import JsonDocument
@@ -64,7 +65,7 @@ class FKReference:
             k -= size
         raise AssertionError("unreachable: k exceeded interval sizes")
 
-    def targets_for(self, offsets: np.ndarray) -> np.ndarray:
+    def targets_for(self, offsets: NDArray[Any]) -> NDArray[Any]:
         """Vectorised :meth:`kth_target` for an array of per-row offsets."""
         total = self.target_count()
         if total <= 0:
@@ -176,32 +177,68 @@ class RowBoxMatch:
         return (1 if self.pk_window is not None else 0) + len(self.partial_fks)
 
 
-class _InvalidatingRows(list):
+class _InvalidatingRows(list["SummaryRow"]):
     """A row list that drops its owner's offset cache on any list mutation."""
 
-    def __init__(self, items: Iterable["SummaryRow"], owner: "RelationSummary"):
+    def __init__(self, items: Iterable["SummaryRow"], owner: "RelationSummary") -> None:
         super().__init__(items)
         self._owner = owner
 
-    def _mutate(name):  # noqa: N805 - decorator factory over list methods
-        method = getattr(list, name)
+    def _invalidate(self) -> None:
+        # The owner is absent while pickle/copy reconstruct the list.
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            owner.invalidate_offsets()
 
-        def wrapper(self, *args, **kwargs):
-            # The owner is absent while pickle/copy reconstruct the list.
-            owner = getattr(self, "_owner", None)
-            if owner is not None:
-                owner.invalidate_offsets()
-            return method(self, *args, **kwargs)
+    def append(self, item: "SummaryRow") -> None:
+        self._invalidate()
+        super().append(item)
 
-        wrapper.__name__ = name
-        return wrapper
+    def extend(self, items: Iterable["SummaryRow"]) -> None:
+        self._invalidate()
+        super().extend(items)
 
-    for _name in (
-        "append", "extend", "insert", "remove", "pop", "clear", "sort",
-        "reverse", "__setitem__", "__delitem__", "__iadd__", "__imul__",
-    ):
-        locals()[_name] = _mutate(_name)
-    del _name, _mutate
+    def insert(self, index: SupportsIndex, item: "SummaryRow") -> None:
+        self._invalidate()
+        super().insert(index, item)
+
+    def remove(self, item: "SummaryRow") -> None:
+        self._invalidate()
+        super().remove(item)
+
+    def pop(self, index: SupportsIndex = -1) -> "SummaryRow":
+        self._invalidate()
+        return super().pop(index)
+
+    def clear(self) -> None:
+        self._invalidate()
+        super().clear()
+
+    def sort(self, *args: Any, **kwargs: Any) -> None:
+        self._invalidate()
+        super().sort(*args, **kwargs)
+
+    def reverse(self) -> None:
+        self._invalidate()
+        super().reverse()
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._invalidate()
+        super().__setitem__(index, value)
+
+    def __delitem__(self, index: SupportsIndex | slice) -> None:
+        self._invalidate()
+        super().__delitem__(index)
+
+    def __iadd__(self, other: Iterable["SummaryRow"]) -> "_InvalidatingRows":
+        self._invalidate()
+        super().__iadd__(other)
+        return self
+
+    def __imul__(self, count: SupportsIndex) -> "_InvalidatingRows":
+        self._invalidate()
+        super().__imul__(count)
+        return self
 
 
 @dataclass
@@ -221,7 +258,7 @@ class RelationSummary:
     rows: list[SummaryRow] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self._cumulative: np.ndarray | None = None
+        self._cumulative: NDArray[Any] | None = None
         self.rows = _InvalidatingRows(self.rows, owner=self)
 
     def invalidate_offsets(self) -> None:
@@ -229,7 +266,7 @@ class RelationSummary:
         self._cumulative = None
 
     @property
-    def cumulative_offsets(self) -> np.ndarray:
+    def cumulative_offsets(self) -> NDArray[Any]:
         """Cumulative pk offsets, rebuilt when rows were added or invalidated."""
         cached = self._cumulative
         if cached is None or len(cached) != len(self.rows) + 1:
@@ -243,7 +280,7 @@ class RelationSummary:
         return int(self.cumulative_offsets[-1])
 
     @property
-    def row_offsets(self) -> np.ndarray:
+    def row_offsets(self) -> NDArray[Any]:
         """Starting pk index of each summary row (deterministic alignment)."""
         return self.cumulative_offsets[:-1]
 

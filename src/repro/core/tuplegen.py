@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 from ..sql.predicates import BoxCondition, columns_with_dependencies
@@ -95,7 +96,7 @@ class TupleGenerator:
 
     def generate_block(
         self, start: int, count: int, columns: Sequence[str] | None = None
-    ) -> dict[str, np.ndarray]:
+    ) -> dict[str, NDArray[Any]]:
         """Generate ``count`` consecutive rows starting at ``start``.
 
         Returns a dict of column arrays (encoded values).  The block is
@@ -151,7 +152,7 @@ class TupleGenerator:
         columns: Sequence[str] | None = None,
         skip_box: BoxCondition | None = None,
         offsets: tuple[int, int] | None = None,
-    ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+    ) -> Iterator[tuple[int, int, int, dict[str, NDArray[Any]]]]:
         """Stream ``(start, generated, matched, block)`` with only matching rows.
 
         ``block`` holds the requested columns restricted to the rows of the

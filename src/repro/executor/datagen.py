@@ -14,15 +14,17 @@ demo's vendor interface).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Protocol, Sequence, runtime_checkable
+from typing import Any, Iterator, Protocol, Sequence, TYPE_CHECKING, runtime_checkable
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..sql.predicates import BoxCondition, columns_with_dependencies
 from ..storage.table import TableData
 from .rate import RateLimiter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..catalog.schema import Table
     from ..core.tuplegen import TupleGenerator
     from ..sql.predicates import Predicate
 
@@ -46,7 +48,7 @@ class RowSource(Protocol):
 
     def generate_block(
         self, start: int, count: int, columns: Sequence[str] | None = None
-    ) -> dict[str, np.ndarray]:  # pragma: no cover - protocol signature
+    ) -> dict[str, NDArray[Any]]:  # pragma: no cover - protocol signature
         ...
 
 
@@ -85,14 +87,14 @@ class DataGenRelation:
 
     def fetch_columns(
         self, columns: Sequence[str], batch_size: int | None = None
-    ) -> dict[str, np.ndarray]:
+    ) -> dict[str, NDArray[Any]]:
         """Generate the requested columns for the whole relation.
 
         Generation happens in batches so that the rate limiter can pace the
         stream; the concatenated arrays are returned to the engine.
         """
         effective_batch = batch_size or self.batch_size
-        pieces: dict[str, list[np.ndarray]] = {name: [] for name in columns}
+        pieces: dict[str, list[NDArray[Any]]] = {name: [] for name in columns}
         for start, count, block in self.iter_blocks(effective_batch, columns):
             del start, count
             for name in columns:
@@ -100,8 +102,8 @@ class DataGenRelation:
         # A zero-row relation yields no blocks; ask the source for an empty
         # block so each column keeps its schema dtype instead of collapsing
         # to float64 (which would poison join/key dtypes downstream).
-        empty: dict[str, np.ndarray] | None = None
-        result: dict[str, np.ndarray] = {}
+        empty: dict[str, NDArray[Any]] | None = None
+        result: dict[str, NDArray[Any]] = {}
         for name, chunks in pieces.items():
             if chunks:
                 result[name] = np.concatenate(chunks)
@@ -113,7 +115,7 @@ class DataGenRelation:
 
     def iter_blocks(
         self, batch_size: int | None = None, columns: Sequence[str] | None = None
-    ) -> Iterator[tuple[int, int, dict[str, np.ndarray]]]:
+    ) -> Iterator[tuple[int, int, dict[str, NDArray[Any]]]]:
         """Yield ``(start, count, columns)`` blocks, honouring the rate limit."""
         effective_batch = batch_size or self.batch_size
         total = self.source.row_count
@@ -135,7 +137,7 @@ class DataGenRelation:
         columns: Sequence[str] | None = None,
         batch_size: int | None = None,
         skip_box: "BoxCondition | None" = None,
-    ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+    ) -> Iterator[tuple[int, int, int, dict[str, NDArray[Any]]]]:
         """Stream ``(start, generated, matched, block)`` with only matching rows.
 
         When the row source understands box conditions (a
@@ -195,7 +197,7 @@ class DataGenRelation:
 
     # -- optional materialisation ------------------------------------------
 
-    def materialize(self, table) -> TableData:
+    def materialize(self, table: "Table") -> TableData:
         """Materialise the full relation into a :class:`TableData`.
 
         ``table`` is the schema :class:`~repro.catalog.schema.Table` this
@@ -275,7 +277,7 @@ class ParallelDataGenRelation(DataGenRelation):
         requested: list[str],
         batch_size: int,
         skip_box: "BoxCondition | None" = None,
-    ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+    ) -> Iterator[tuple[int, int, int, dict[str, NDArray[Any]]]]:
         """Shard, fan out, merge — accounting stats and pacing in-parent."""
         from ..parallel.pool import iter_parallel_blocks
         from ..parallel.sharding import ShardPlan
@@ -313,7 +315,7 @@ class ParallelDataGenRelation(DataGenRelation):
 
     def iter_blocks(
         self, batch_size: int | None = None, columns: Sequence[str] | None = None
-    ) -> Iterator[tuple[int, int, dict[str, np.ndarray]]]:
+    ) -> Iterator[tuple[int, int, dict[str, NDArray[Any]]]]:
         source = self._parallel_source()
         if source is None:
             yield from super().iter_blocks(batch_size, columns)
@@ -337,7 +339,7 @@ class ParallelDataGenRelation(DataGenRelation):
         columns: Sequence[str] | None = None,
         batch_size: int | None = None,
         skip_box: "BoxCondition | None" = None,
-    ) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+    ) -> Iterator[tuple[int, int, int, dict[str, NDArray[Any]]]]:
         source = self._parallel_source()
         if source is None or box is None:
             yield from super().iter_filtered_blocks(

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, TYPE_CHECKING, cast
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Schema, Table
 from ..plans.logical import (
@@ -51,6 +52,9 @@ from ..sql.predicates import (
 from ..sql.query import DisjunctiveJoinCondition
 from ..storage.database import Database, MaterializedRelation, RelationProvider
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.summary import RelationSummary
+
 __all__ = ["ExecutionResult", "ExecutionEngine", "ExecutorError"]
 
 
@@ -68,12 +72,12 @@ class ExecutionResult:
     ``None`` when the plan has no aggregate root.
     """
 
-    columns: dict[str, np.ndarray]
+    columns: dict[str, NDArray[Any]]
     row_count: int
     scanned_rows: int = 0
     aggregate_route: str | None = None
 
-    def column(self, name: str) -> np.ndarray:
+    def column(self, name: str) -> NDArray[Any]:
         if name in self.columns:
             return self.columns[name]
         matches = [key for key in self.columns if key.endswith("." + name)]
@@ -96,7 +100,7 @@ class ExecutionResult:
 class _Block:
     """Internal intermediate result: qualified column arrays + row count."""
 
-    columns: dict[str, np.ndarray]
+    columns: dict[str, NDArray[Any]]
     row_count: int
 
 
@@ -194,13 +198,13 @@ class ExecutionEngine:
 
     def _provider_columns(
         self, provider: RelationProvider, table: str, column_names: list[str]
-    ) -> dict[str, np.ndarray]:
+    ) -> dict[str, NDArray[Any]]:
         """Fetch the requested columns from a provider, however it is backed."""
         if isinstance(provider, MaterializedRelation):
             return {name: provider.column(name) for name in column_names}
         fetch = getattr(provider, "fetch_columns", None)
         if callable(fetch):
-            fetched: Mapping[str, np.ndarray] = fetch(column_names, batch_size=self.batch_size)
+            fetched: Mapping[str, NDArray[Any]] = fetch(column_names, batch_size=self.batch_size)
             return {name: np.asarray(fetched[name]) for name in column_names}
         # Last resort: row-at-a-time generation through the provider protocol.
         # Arrays take the schema column dtypes: collapsing everything to
@@ -217,7 +221,7 @@ class ExecutionEngine:
             for name, idx in zip(column_names, indices)
         }
 
-    def _relation_summary(self, table_name: str):
+    def _relation_summary(self, table_name: str) -> "RelationSummary | None":
         """The relation summary backing a dataless provider, if any."""
         try:
             provider = self.database.provider(table_name)
@@ -227,7 +231,7 @@ class ExecutionEngine:
         summary = getattr(source, "summary", None)
         if summary is None or not callable(getattr(summary, "count_matching", None)):
             return None
-        return summary
+        return cast("RelationSummary", summary)
 
     def _plan_summaries(self, plan: PlanNode) -> dict[str, Any]:
         """Summaries of every summary-backed relation scanned by the plan."""
@@ -276,7 +280,7 @@ class ExecutionEngine:
         """
         return exact_predicate_box(predicate, table)
 
-    def _empty_column(self, table: Table, name: str) -> np.ndarray:
+    def _empty_column(self, table: Table, name: str) -> NDArray[Any]:
         return np.empty(0, dtype=table.column(name).dtype.numpy_dtype)
 
     def _execute_filtered_scan(self, scan: ScanNode, node: FilterNode) -> _Block:
@@ -320,7 +324,7 @@ class ExecutionEngine:
 
         if callable(getattr(provider, "iter_filtered_blocks", None)):
             box = self._predicate_box(predicate, table)
-            pieces: dict[str, list[np.ndarray]] = {name: [] for name in output}
+            pieces: dict[str, list[NDArray[Any]]] = {name: [] for name in output}
             matched = 0
             for _start, generated, batch_matched, block in provider.iter_filtered_blocks(
                 predicate=predicate, box=box, columns=output, batch_size=self.batch_size
@@ -390,7 +394,7 @@ class ExecutionEngine:
         else:
             left_keys, right_keys = self._join_key_arrays(left, right, condition)
             left_indices, right_indices = _hash_join_indices(left_keys, right_keys)
-        columns: dict[str, np.ndarray] = {}
+        columns: dict[str, NDArray[Any]] = {}
         for name, values in left.columns.items():
             columns[name] = values[left_indices]
         for name, values in right.columns.items():
@@ -400,7 +404,7 @@ class ExecutionEngine:
     @staticmethod
     def _join_key_arrays(
         left: _Block, right: _Block, condition: Any
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         """Resolve one equi-join's key arrays out of the two input blocks."""
         left_key_name = f"{condition.left_table}.{condition.left_column}"
         right_key_name = f"{condition.right_table}.{condition.right_column}"
@@ -412,7 +416,7 @@ class ExecutionEngine:
 
     def _disjunctive_join_indices(
         self, left: _Block, right: _Block, condition: DisjunctiveJoinCondition
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[NDArray[Any], NDArray[Any]]:
         """Index pairs matching *any* alternative of a disjunctive join.
 
         Each alternative is evaluated as an ordinary vectorised equi-join;
@@ -424,7 +428,7 @@ class ExecutionEngine:
         empty = np.empty(0, dtype=np.int64)
         if left.row_count == 0 or right.row_count == 0:
             return empty, empty
-        encoded_sets: list[np.ndarray] = []
+        encoded_sets: list[NDArray[Any]] = []
         stride = np.int64(right.row_count)
         for alternative in condition.alternatives:
             left_keys, right_keys = self._join_key_arrays(left, right, alternative)
@@ -550,8 +554,8 @@ class ExecutionEngine:
         if semijoin is not None:
             stream_kwargs["skip_box"] = semijoin
         matched_total = 0
-        probe_chunks: dict[str, list[np.ndarray]] = {name: [] for name in output}
-        build_index_chunks: list[np.ndarray] = []
+        probe_chunks: dict[str, list[NDArray[Any]]] = {name: [] for name in output}
+        build_index_chunks: list[NDArray[Any]] = []
         for _start, generated, batch_matched, block in provider.iter_filtered_blocks(
             **stream_kwargs
         ):
@@ -621,7 +625,7 @@ class ExecutionEngine:
 
     def _execute_project(self, node: ProjectNode) -> _Block:
         child = self._execute_node(node.child)
-        columns: dict[str, np.ndarray] = {}
+        columns: dict[str, NDArray[Any]] = {}
         for name in node.columns:
             resolved = self._resolve_output_column(child, name)
             columns[resolved] = child.columns[resolved]
@@ -1025,8 +1029,8 @@ class ExecutionEngine:
 
 
 def _hash_join_indices(
-    left_keys: np.ndarray, right_keys: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
+    left_keys: NDArray[Any], right_keys: NDArray[Any]
+) -> tuple[NDArray[Any], NDArray[Any]]:
     """Return index pairs (left_idx, right_idx) of matching key values.
 
     Implemented as a fully vectorised sort-merge join (duplicates on either

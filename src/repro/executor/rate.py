@@ -26,7 +26,7 @@ class VirtualClock:
     without real waiting.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 
     def now(self) -> float:

@@ -1,0 +1,48 @@
+"""hydra-lint: the repository's AST-based invariant checker.
+
+The bit-identity guarantees HYDRA rests on — serial == parallel streams,
+backend-independent export checksums, fingerprint-stable summaries — are
+enforced dynamically by the property-test suites.  This package enforces
+their *source-level preconditions* statically, before a flaky hypothesis run
+has to catch a violation: seeded RNGs only (HYD1xx), spawn-safe worker
+payloads (HYD2xx), float discipline in interval arithmetic and aggregation
+(HYD3xx), documented import boundaries (HYD4xx), and no silent broad
+exception handlers (HYD5xx).
+
+Run it as ``hydra-lint src benchmarks`` (console script), ``python -m
+repro.lint``, or through :func:`repro.lint.run_lint` from tests.  Rules are
+configured via ``[tool.hydralint]`` in pyproject.toml and suppressed inline
+with ``# hydralint: disable=HYDxxx -- justification`` (the justification is
+mandatory).  ``docs/STATIC_ANALYSIS.md`` catalogues every rule with the
+invariant it protects.
+"""
+
+from .config import ConfigError, LintConfig, load_config
+from .framework import (
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    build_context,
+    register,
+    registered_codes,
+    rule_for_code,
+)
+from .runner import LintReport, lint_file, run_lint
+
+__all__ = [
+    "ConfigError",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "build_context",
+    "lint_file",
+    "load_config",
+    "register",
+    "registered_codes",
+    "rule_for_code",
+    "run_lint",
+]

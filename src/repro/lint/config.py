@@ -1,0 +1,139 @@
+"""``[tool.hydralint]`` configuration loaded from pyproject.toml.
+
+The config surface is deliberately small:
+
+* ``select`` / ``ignore`` — rule codes to run / to drop (default: all).
+* ``exclude`` — fnmatch path patterns never linted (matched against the
+  project-relative POSIX path, in addition to the built-in excludes).
+* ``[tool.hydralint.rule-paths]`` — per-rule path-scope overrides, e.g.
+  widening the fingerprint-module set HYD102 watches.
+* ``[[tool.hydralint.layering]]`` — the forbidden import edges HYD402
+  enforces (``from``/``to`` dotted package prefixes plus ``allow`` files).
+
+Parsing uses :mod:`tomllib` (Python ≥ 3.11).  On 3.10 — where the stdlib has
+no TOML parser and the project installs no third-party one — pyproject
+configuration is skipped with the built-in defaults; the CLI prints a notice
+so a configured run on 3.10 is never silently different.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .rules.imports import DEFAULT_LAYERING, LayerEdge
+
+__all__ = ["ConfigError", "LintConfig", "load_config"]
+
+#: Path patterns never linted regardless of configuration.
+DEFAULT_EXCLUDES: tuple[str, ...] = (
+    "*/__pycache__/*",
+    "*/.git/*",
+    "*/.hypothesis/*",
+    "*/build/*",
+    "*/dist/*",
+    "*.egg-info*",
+)
+
+
+class ConfigError(Exception):
+    """Raised when ``[tool.hydralint]`` contains an unusable value."""
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved hydra-lint configuration.
+
+    ``select`` empty means "all registered rules".  ``rule_paths`` maps a
+    rule code to the fnmatch patterns replacing its default path scope.
+    """
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDES
+    rule_paths: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    layering: tuple[LayerEdge, ...] = DEFAULT_LAYERING
+    #: True when a pyproject section was present but could not be read
+    #: (3.10 without tomllib); the CLI surfaces a notice.
+    config_skipped: bool = False
+
+
+def _string_tuple(value: Any, key: str) -> tuple[str, ...]:
+    """Validate a TOML value as a list of strings."""
+    if not isinstance(value, list) or not all(isinstance(item, str) for item in value):
+        raise ConfigError(f"[tool.hydralint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def _parse_section(section: Mapping[str, Any]) -> LintConfig:
+    """Build a :class:`LintConfig` from the ``[tool.hydralint]`` mapping."""
+    known_keys = {"select", "ignore", "exclude", "rule-paths", "layering"}
+    unknown = sorted(set(section) - known_keys)
+    if unknown:
+        raise ConfigError(
+            f"unknown [tool.hydralint] key(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known_keys))})"
+        )
+    select = _string_tuple(section.get("select", []), "select")
+    ignore = _string_tuple(section.get("ignore", []), "ignore")
+    exclude = DEFAULT_EXCLUDES + _string_tuple(section.get("exclude", []), "exclude")
+    raw_paths = section.get("rule-paths", {})
+    if not isinstance(raw_paths, Mapping):
+        raise ConfigError("[tool.hydralint.rule-paths] must be a table of code -> path list")
+    rule_paths = {
+        str(code): _string_tuple(patterns, f"rule-paths.{code}")
+        for code, patterns in raw_paths.items()
+    }
+    raw_layering = section.get("layering")
+    if raw_layering is None:
+        layering = DEFAULT_LAYERING
+    else:
+        if not isinstance(raw_layering, list):
+            raise ConfigError("[[tool.hydralint.layering]] must be an array of tables")
+        edges = []
+        for entry in raw_layering:
+            if not isinstance(entry, Mapping) or "from" not in entry or "to" not in entry:
+                raise ConfigError(
+                    "each [[tool.hydralint.layering]] entry needs 'from' and 'to' keys"
+                )
+            edges.append(
+                LayerEdge(
+                    from_package=str(entry["from"]),
+                    to_package=str(entry["to"]),
+                    allowed_files=_string_tuple(entry.get("allow", []), "layering.allow"),
+                )
+            )
+        layering = tuple(edges)
+    return LintConfig(
+        select=select,
+        ignore=ignore,
+        exclude=exclude,
+        rule_paths=rule_paths,
+        layering=layering,
+    )
+
+
+def load_config(pyproject_path: Path | None) -> LintConfig:
+    """Load the hydra-lint configuration from a pyproject.toml file.
+
+    Missing file or missing ``[tool.hydralint]`` section yields the default
+    configuration.  A malformed section raises :class:`ConfigError` (the CLI
+    exits 2 rather than linting with half a config).
+    """
+    if pyproject_path is None or not pyproject_path.is_file():
+        return LintConfig()
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: stdlib has no TOML parser
+        return LintConfig(config_skipped=True)
+    try:
+        payload = tomllib.loads(pyproject_path.read_text())
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigError(f"{pyproject_path}: not valid TOML: {exc}") from exc
+    section = payload.get("tool", {}).get("hydralint")
+    if section is None:
+        return LintConfig()
+    if not isinstance(section, Mapping):
+        raise ConfigError("[tool.hydralint] must be a table")
+    return _parse_section(section)

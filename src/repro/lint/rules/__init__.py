@@ -1,0 +1,18 @@
+"""The opening hydra-lint rule set.
+
+Importing this package registers every rule with the framework registry:
+
+* ``HYD1xx`` — determinism (:mod:`.determinism`)
+* ``HYD2xx`` — spawn safety (:mod:`.spawn`)
+* ``HYD3xx`` — float discipline (:mod:`.floats`)
+* ``HYD4xx`` — import boundaries (:mod:`.imports`)
+* ``HYD5xx`` — exception discipline (:mod:`.exceptions`)
+
+Each code is stable once released: a retired rule's code is never reused.
+``docs/STATIC_ANALYSIS.md`` catalogues every code with the repository
+invariant it protects and the incident that motivated it.
+"""
+
+from . import determinism, exceptions, floats, imports, spawn
+
+__all__ = ["determinism", "exceptions", "floats", "imports", "spawn"]

@@ -1,0 +1,99 @@
+"""HYD5xx — exception-discipline rules.
+
+A worker process dying silently, a sink swallowing the error that should
+have aborted an export, a solver failure read as an empty solution: broad
+silent handlers turn every one of those hard failures into a wrong-answer
+bug.  The repository allows exactly one silent broad handler — the
+worker-death path in ``parallel/pool.py`` whose failure is *detected
+elsewhere* (parent-side liveness polling) — and that one carries a justified
+inline suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from ..framework import FileContext, Finding, Rule, dotted_name, register
+
+__all__ = ["BareExceptRule", "SilentBroadExceptRule"]
+
+
+@register
+class BareExceptRule(Rule):
+    """HYD501: no bare ``except:`` handlers.
+
+    A bare ``except:`` catches ``SystemExit`` and ``KeyboardInterrupt``,
+    making workers unkillable and CLI runs un-interruptible.  Catch the
+    narrowest exception that the handler can actually handle (or
+    ``BaseException`` explicitly, with a justification, when re-raising).
+    """
+
+    code: ClassVar[str] = "HYD501"
+    name: ClassVar[str] = "bare-except"
+    summary: ClassVar[str] = "no bare 'except:' handlers anywhere"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag every handler without an exception type."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt; name "
+                    "the exception type being handled",
+                )
+
+
+def _is_broad_type(node: ast.expr) -> bool:
+    """Whether the handler type is ``Exception``/``BaseException`` (dotted or not)."""
+    name = dotted_name(node)
+    if name is None:
+        return False
+    leaf = name.rpartition(".")[2]
+    return leaf in {"Exception", "BaseException"}
+
+
+def _is_silent_body(body: list[ast.stmt]) -> bool:
+    """Whether a handler body does nothing but pass/``...``/``continue``."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a lone string/Ellipsis expression is still silent
+        return False
+    return True
+
+
+@register
+class SilentBroadExceptRule(Rule):
+    """HYD502: no silent ``except Exception: pass`` handlers.
+
+    Swallowing every exception without logging, re-raising, or recording
+    turns hard failures into wrong answers.  The one sanctioned instance —
+    the worker-death path in ``parallel/pool.py``, whose failure the parent
+    detects through liveness polling — carries a justified inline
+    suppression; every other occurrence must handle or propagate.
+    """
+
+    code: ClassVar[str] = "HYD502"
+    name: ClassVar[str] = "silent-broad-except"
+    summary: ClassVar[str] = (
+        "no silent 'except Exception: pass' outside the documented "
+        "worker-death path (suppress there with a justification)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag broad handlers whose body is pure no-op."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            if any(_is_broad_type(t) for t in types) and _is_silent_body(node.body):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "silent broad 'except' swallows every failure; handle, "
+                    "log, or re-raise (the documented worker-death path uses a "
+                    "justified suppression)",
+                )

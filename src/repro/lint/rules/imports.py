@@ -1,0 +1,151 @@
+"""HYD4xx — import-boundary rules.
+
+PR 6 left ``repro.sql.expressions`` behind as a deprecation shim so external
+code keeps importing; *internal* code importing it re-entrenches the old
+surface and (because the shim emits a :class:`DeprecationWarning` on import)
+turns warning-as-error test runs red.  Separately, the executor consumes the
+parallel subsystem through exactly two documented seams; any other
+``executor``/``core`` → ``parallel`` import couples the layers the wrong way
+round and reintroduces the circular-import risk the seams exist to avoid.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from ..framework import FileContext, Finding, Rule, register, resolve_import_targets
+
+__all__ = ["DeprecatedShimImportRule", "LayerBoundaryRule", "LayerEdge"]
+
+#: The deprecated module no internal code may import.
+_SHIM_MODULE = "repro.sql.expressions"
+
+#: Files allowed to reference the shim (the shim itself).
+_SHIM_ALLOWED_FILES = ("src/repro/sql/expressions.py",)
+
+
+@register
+class DeprecatedShimImportRule(Rule):
+    """HYD401: internal code must not import the ``repro.sql.expressions`` shim.
+
+    The shim exists solely for external callers; ``repro.sql.predicates`` is
+    the only internal surface.  An internal shim import re-entrenches the
+    deprecated names and trips the shim's import-time
+    :class:`DeprecationWarning` in every consumer.
+    """
+
+    code: ClassVar[str] = "HYD401"
+    name: ClassVar[str] = "deprecated-shim-import"
+    summary: ClassVar[str] = (
+        "no internal import of the deprecated repro.sql.expressions shim "
+        "(repro.sql.predicates is the internal surface)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag absolute and relative imports resolving to the shim."""
+        if ctx.rel_path in _SHIM_ALLOWED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for target in resolve_import_targets(ctx, node):
+                if target == _SHIM_MODULE or target.startswith(_SHIM_MODULE + "."):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import of the deprecated repro.sql.expressions shim; "
+                        "import from repro.sql.predicates instead",
+                    )
+                    break
+
+
+class LayerEdge:
+    """One forbidden import edge ``from_package`` → ``to_package``.
+
+    ``allowed_files`` lists project-relative paths (the documented seams)
+    exempt from the edge.
+    """
+
+    def __init__(
+        self,
+        from_package: str,
+        to_package: str,
+        allowed_files: tuple[str, ...] = (),
+    ) -> None:
+        """Store one forbidden edge with its documented seam files."""
+        self.from_package = from_package
+        self.to_package = to_package
+        self.allowed_files = allowed_files
+
+
+#: The repository's documented layering (overridable via
+#: ``[[tool.hydralint.layering]]`` in pyproject.toml).
+DEFAULT_LAYERING: tuple[LayerEdge, ...] = (
+    LayerEdge(
+        from_package="repro.executor",
+        to_package="repro.parallel",
+        allowed_files=("src/repro/executor/datagen.py",),
+    ),
+    LayerEdge(
+        from_package="repro.core",
+        to_package="repro.parallel",
+        allowed_files=("src/repro/core/pipeline.py",),
+    ),
+)
+
+
+def _in_package(module_name: str, package: str) -> bool:
+    """Whether ``module_name`` is ``package`` or one of its submodules."""
+    return module_name == package or module_name.startswith(package + ".")
+
+
+@register
+class LayerBoundaryRule(Rule):
+    """HYD402: upward imports only through the documented seams.
+
+    The executor and the core pipeline may touch ``repro.parallel`` only in
+    ``executor/datagen.py`` (the ``ParallelDataGenRelation`` seam) and
+    ``core/pipeline.py`` (the facade's worker-default seam).  Any other
+    import of the parallel subsystem from those layers is flagged; extend or
+    override the edge table via ``[[tool.hydralint.layering]]``.
+    """
+
+    code: ClassVar[str] = "HYD402"
+    name: ClassVar[str] = "layer-boundary"
+    summary: ClassVar[str] = (
+        "no executor/core imports of repro.parallel outside the documented "
+        "seams (datagen.py, pipeline.py)"
+    )
+
+    #: Edge table consulted at check time; the runner replaces it with the
+    #: pyproject-configured table when one is present.
+    layering: tuple[LayerEdge, ...] = DEFAULT_LAYERING
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag imports crossing a forbidden edge outside its seams."""
+        applicable = [
+            edge
+            for edge in self.layering
+            if _in_package(ctx.module_name, edge.from_package)
+            and ctx.rel_path not in edge.allowed_files
+        ]
+        if not applicable:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for target in resolve_import_targets(ctx, node):
+                for edge in applicable:
+                    if _in_package(target, edge.to_package) or target == edge.to_package:
+                        seams = ", ".join(edge.allowed_files) or "<none>"
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {edge.to_package} from {edge.from_package} "
+                            f"outside the documented seams ({seams})",
+                        )
+                        break
+                else:
+                    continue
+                break

@@ -1,0 +1,228 @@
+"""HYD2xx — spawn-safety rules.
+
+``repro.parallel`` promises to run under *any* multiprocessing start method:
+worker entry points must be importable module-level functions and all worker
+state must travel through pickled arguments (see the ``pool.py`` module
+docstring).  Lambdas, closures, and locally defined functions pickle under
+``fork`` by accident and explode under ``spawn``; module-global mutation
+inside a worker silently diverges between the two.  PR 3 learned both the
+hard way — these rules keep the lessons enforced at the source level.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import ClassVar, Iterator
+
+from ..framework import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    module_level_mutable_names,
+    register,
+)
+
+__all__ = ["PoolCallableRule", "WorkerGlobalMutationRule"]
+
+#: Callee names treated as pool entry points: a callable argument handed to
+#: one of these crosses a process boundary and must be picklable.
+_POOL_ENTRYPOINTS = {
+    "Process",
+    "iter_parallel_blocks",
+    "submit",
+    "apply",
+    "apply_async",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "imap",
+    "imap_unordered",
+}
+
+#: fnmatch patterns naming worker entry-point functions (HYD202 scope).
+_WORKER_NAME_PATTERNS = ("*_worker", "worker_*")
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "appendleft",
+    "extendleft",
+}
+
+
+def _locally_defined_function_names(tree: ast.Module) -> set[str]:
+    """Names of every function defined inside another function.
+
+    These are exactly the callables that cannot be pickled by reference:
+    ``pickle`` resolves a function by its qualified module path, which a
+    nested definition does not have.
+    """
+    names: set[str] = set()
+
+    def _collect(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_is_function = isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if child_is_function and inside_function:
+                names.add(child.name)  # type: ignore[attr-defined]
+            _collect(child, inside_function or child_is_function)
+
+    _collect(tree, False)
+    return names
+
+
+def _callee_leaf(node: ast.Call) -> str | None:
+    """The last component of the call's dotted callee name, if any."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    return name.rpartition(".")[2]
+
+
+@register
+class PoolCallableRule(Rule):
+    """HYD201: only module-level functions may cross the pool boundary.
+
+    Flags lambdas and locally defined (nested) functions passed as arguments
+    to pool entry points (``Process(target=...)``, ``iter_parallel_blocks``,
+    executor/pool ``submit``/``apply_async``/``map``-family calls).  Such
+    callables are unpicklable under the ``spawn`` start method, so the code
+    works on Linux (``fork``) and dies on every spawn-only platform.
+    """
+
+    code: ClassVar[str] = "HYD201"
+    name: ClassVar[str] = "unpicklable-pool-callable"
+    summary: ClassVar[str] = (
+        "no lambdas, closures, or locally defined functions passed into pool "
+        "entry points (spawn-unsafe)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag spawn-unsafe callable arguments at pool call sites."""
+        local_functions = _locally_defined_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            leaf = _callee_leaf(node)
+            if leaf not in _POOL_ENTRYPOINTS:
+                continue
+            arguments = list(node.args) + [keyword.value for keyword in node.keywords]
+            for argument in arguments:
+                if isinstance(argument, ast.Lambda):
+                    yield self.finding(
+                        ctx,
+                        argument,
+                        f"lambda passed into pool entry point '{leaf}'; lambdas "
+                        "are unpicklable under spawn — use a module-level function",
+                    )
+                elif isinstance(argument, ast.Name) and argument.id in local_functions:
+                    yield self.finding(
+                        ctx,
+                        argument,
+                        f"locally defined function '{argument.id}' passed into pool "
+                        f"entry point '{leaf}'; nested functions are unpicklable "
+                        "under spawn — move it to module level",
+                    )
+
+
+@register
+class WorkerGlobalMutationRule(Rule):
+    """HYD202: worker functions must not mutate module-level state.
+
+    A worker process mutating a module-level dict/list/set mutates *its own
+    copy*: under ``fork`` the parent sometimes sees the change (pre-fork
+    writes), under ``spawn`` never.  Worker results must travel through the
+    result queue.  Applies to functions whose name matches the worker
+    patterns (``*_worker`` / ``worker_*``): ``global`` rebinding, subscript/
+    attribute stores on module-level mutable names, and in-place mutator
+    method calls on them are all flagged.
+    """
+
+    code: ClassVar[str] = "HYD202"
+    name: ClassVar[str] = "worker-global-mutation"
+    summary: ClassVar[str] = (
+        "no module-level mutable state mutated inside worker entry-point "
+        "functions (results travel through queues)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag global-state mutation inside worker entry points."""
+        mutable_names = module_level_mutable_names(ctx.tree)
+        for function in ast.walk(ctx.tree):
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not any(fnmatch(function.name, pattern) for pattern in _WORKER_NAME_PATTERNS):
+                continue
+            yield from self._check_worker(ctx, function, mutable_names)
+
+    def _check_worker(
+        self,
+        ctx: FileContext,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        mutable_names: set[str],
+    ) -> Iterator[Finding]:
+        local_bindings = {
+            arg.arg
+            for arg in (
+                function.args.posonlyargs + function.args.args + function.args.kwonlyargs
+            )
+        }
+        for node in ast.walk(function):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"worker '{function.name}' rebinds module-level name(s) "
+                    f"{', '.join(node.names)} via 'global'; worker state must "
+                    "travel through arguments and the result queue",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    root = _store_root(target)
+                    if root is not None and root in mutable_names and root not in local_bindings:
+                        yield self.finding(
+                            ctx,
+                            target,
+                            f"worker '{function.name}' writes into module-level "
+                            f"mutable '{root}'; the parent process never sees it "
+                            "under spawn — use the result queue",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in _MUTATOR_METHODS:
+                    continue
+                receiver = node.func.value
+                if (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id in mutable_names
+                    and receiver.id not in local_bindings
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"worker '{function.name}' calls '{receiver.id}."
+                        f"{node.func.attr}(...)' on module-level mutable state; "
+                        "the parent process never sees it under spawn — use the "
+                        "result queue",
+                    )
+
+
+def _store_root(target: ast.expr) -> str | None:
+    """The root name of a subscript/attribute store target, if any."""
+    current = target
+    while isinstance(current, (ast.Subscript, ast.Attribute)):
+        current = current.value
+    if isinstance(current, ast.Name) and not isinstance(target, ast.Name):
+        return current.id
+    return None

@@ -40,16 +40,16 @@ import os
 import pickle
 import queue as queue_module
 import traceback
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
-import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 from ..core.errors import ParallelGenerationError
 from ..core.summary import RelationSummary
 from ..core.tuplegen import TupleGenerator
 from ..sql.predicates import BoxCondition
-from .sharding import ShardPlan
+from .sharding import Shard, ShardPlan
 
 __all__ = ["default_min_parallel_rows", "default_workers", "iter_parallel_blocks"]
 
@@ -97,7 +97,11 @@ def default_min_parallel_rows(batch_size: int, workers: int) -> int:
     return 4 * batch_size * max(1, workers)
 
 
-def _lane_worker(payload: bytes, windows: list[tuple[int, int]], results) -> None:
+def _lane_worker(
+    payload: bytes,
+    windows: list[tuple[int, int]],
+    results: "mp.queues.Queue[tuple[int, Any]]",
+) -> None:
     """Worker entry point: regenerate a lane's chunks, in order, streaming back.
 
     Emits a ``_CHUNK_END`` marker after each window so the parent can drain
@@ -120,11 +124,19 @@ def _lane_worker(payload: bytes, windows: list[tuple[int, int]], results) -> Non
     except BaseException as exc:  # noqa: BLE001 - ship the failure to the parent
         try:
             results.put((_ERROR, (type(exc).__name__, str(exc), traceback.format_exc())))
+        # hydralint: disable=HYD502 -- documented worker-death path: if even
+        # the error report cannot be queued, the parent detects the dead
+        # worker through liveness polling in _next_item and raises there.
         except Exception:
-            pass  # the parent detects the dead worker through liveness polling
+            pass
 
 
-def _next_item(results, process, shard, table: str):
+def _next_item(
+    results: "mp.queues.Queue[tuple[int, Any]]",
+    process: mp.process.BaseProcess,
+    shard: Shard,
+    table: str,
+) -> tuple[int, Any]:
     """Blocking queue read that survives a worker dying without a sentinel."""
     while True:
         try:
@@ -151,7 +163,7 @@ def iter_parallel_blocks(
     skip_box: BoxCondition | None = None,
     queue_blocks: int = 8,
     mp_context: str | None = None,
-) -> Iterator[tuple[int, int, int, dict[str, np.ndarray]]]:
+) -> Iterator[tuple[int, int, int, dict[str, NDArray[Any]]]]:
     """Regenerate ``plan``'s chunks in parallel, merged back in serial order.
 
     Yields the exact ``(start, generated, matched, block)`` stream of

@@ -60,6 +60,7 @@ class Shard:
 
     @property
     def is_empty(self) -> bool:
+        """Whether the shard covers no offsets at all."""
         return self.end <= self.start
 
 
@@ -74,9 +75,11 @@ class ShardPlan:
     shards: tuple[Shard, ...]
 
     def __len__(self) -> int:
+        """The number of shards (chunks), including empty ones."""
         return len(self.shards)
 
     def non_empty_shards(self) -> list[Shard]:
+        """The shards that cover at least one offset, in global order."""
         return [shard for shard in self.shards if not shard.is_empty]
 
     def worker_windows(self) -> list[list[tuple[int, int]]]:
@@ -88,9 +91,11 @@ class ShardPlan:
         return windows
 
     def validate(self) -> None:
-        """Check the invariants the ordered merge relies on: the shards are
-        disjoint, contiguous, ordered, cover ``[0, total_rows)``, and are
-        dealt round-robin to the worker lanes."""
+        """Check the invariants the ordered merge relies on.
+
+        The shards must be disjoint, contiguous, ordered, cover
+        ``[0, total_rows)``, and be assigned to valid worker lanes.
+        """
         cursor = 0
         for position, shard in enumerate(self.shards):
             if shard.index != position or shard.start != cursor or shard.end < shard.start:

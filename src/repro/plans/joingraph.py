@@ -168,7 +168,11 @@ class JoinGraph:
     messages) is deterministic given the query text.
     """
 
-    def __init__(self, tables: "list[str] | tuple[str, ...]", edges: "list[JoinEdge] | tuple[JoinEdge, ...]"):
+    def __init__(
+        self,
+        tables: "list[str] | tuple[str, ...]",
+        edges: "list[JoinEdge] | tuple[JoinEdge, ...]",
+    ) -> None:
         """Store nodes and edges, building the insertion-ordered adjacency."""
         self.tables: tuple[str, ...] = tuple(tables)
         self.edges: tuple[JoinEdge, ...] = tuple(edges)

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, TypeVar
 
 __all__ = ["JsonDocument"]
+
+_DocumentT = TypeVar("_DocumentT", bound="JsonDocument")
 
 
 class JsonDocument:
@@ -23,14 +25,16 @@ class JsonDocument:
         raise NotImplementedError
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]):  # pragma: no cover - abstract
+    def from_dict(
+        cls: type[_DocumentT], payload: Mapping[str, Any]
+    ) -> _DocumentT:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
-    def from_json(cls, text: str):
+    def from_json(cls: type[_DocumentT], text: str) -> _DocumentT:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str | Path) -> None:
@@ -39,5 +43,5 @@ class JsonDocument:
         path.write_text(self.to_json(indent=2))
 
     @classmethod
-    def load(cls, path: str | Path):
+    def load(cls: type[_DocumentT], path: str | Path) -> _DocumentT:
         return cls.from_json(Path(path).read_text())

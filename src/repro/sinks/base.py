@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, ClassVar, Mapping
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Column, Table
 from ..catalog.types import TypeKind
@@ -33,7 +34,7 @@ from .manifest import MANIFEST_NAME, ColumnHasher, Manifest, RelationManifest
 __all__ = ["Sink", "external_columns"]
 
 
-def external_columns(table: Table, block: Mapping[str, np.ndarray]) -> dict[str, list[Any]]:
+def external_columns(table: Table, block: Mapping[str, NDArray[Any]]) -> dict[str, list[Any]]:
     """Decode one encoded block into external (client-facing) values.
 
     Integers stay ``int``, floats stay ``float``, dictionary-encoded strings
@@ -97,7 +98,7 @@ class Sink(abc.ABC):
     #: Short format identifier recorded in the manifest (``csv`` ...).
     format_name: ClassVar[str] = ""
 
-    def __init__(self, out_dir: str | Path):
+    def __init__(self, out_dir: str | Path) -> None:
         """Create the sink rooted at ``out_dir`` (created if missing).
 
         A previous export's manifest-listed files in the directory are
@@ -151,7 +152,7 @@ class Sink(abc.ABC):
         self._hasher = ColumnHasher(table)
         self._backend_open(table)
 
-    def write_block(self, block: Mapping[str, np.ndarray]) -> None:
+    def write_block(self, block: Mapping[str, NDArray[Any]]) -> None:
         """Append one encoded column block to the open relation."""
         if self._current is None or self._hasher is None:
             raise HydraError("no relation is open; call open_relation first")
@@ -210,7 +211,7 @@ class Sink(abc.ABC):
         """Prepare the backend store for one relation (file, table, ...)."""
 
     @abc.abstractmethod
-    def _backend_write(self, table: Table, block: Mapping[str, np.ndarray]) -> None:
+    def _backend_write(self, table: Table, block: Mapping[str, NDArray[Any]]) -> None:
         """Write one non-empty encoded block to the backend store."""
 
     @abc.abstractmethod

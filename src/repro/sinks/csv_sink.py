@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import IO, Mapping
+from typing import Any, IO, Mapping
 
-import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 from .base import Sink, external_columns
@@ -26,7 +26,7 @@ class CsvSink(Sink):
 
     format_name = "csv"
 
-    def __init__(self, out_dir):
+    def __init__(self, out_dir: str | Path) -> None:
         """Create the sink rooted at ``out_dir`` (created if missing)."""
         super().__init__(out_dir)
         self._handle: IO[str] | None = None
@@ -44,7 +44,7 @@ class CsvSink(Sink):
         self._writer = csv.writer(self._handle, lineterminator="\n")
         self._writer.writerow(table.column_names)
 
-    def _backend_write(self, table: Table, block: Mapping[str, np.ndarray]) -> None:
+    def _backend_write(self, table: Table, block: Mapping[str, NDArray[Any]]) -> None:
         assert self._writer is not None
         decoded = external_columns(table, block)
         self._writer.writerows(zip(*(decoded[name] for name in table.column_names)))

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 from ..core.errors import HydraError
@@ -249,10 +250,10 @@ def verify_export(
     return validation
 
 
-def _encode_block(table: Table, rows: Iterable[Sequence[Any]]) -> dict[str, np.ndarray]:
+def _encode_block(table: Table, rows: Iterable[Sequence[Any]]) -> dict[str, NDArray[Any]]:
     """Re-encode a batch of external-value rows into schema-typed arrays."""
     materialised = list(rows)
-    block: dict[str, np.ndarray] = {}
+    block: dict[str, NDArray[Any]] = {}
     for index, column in enumerate(table.columns):
         block[column.name] = np.array(
             [encode_external(column, row[index]) for row in materialised],
@@ -263,7 +264,7 @@ def _encode_block(table: Table, rows: Iterable[Sequence[Any]]) -> dict[str, np.n
 
 def _read_csv(
     export_dir: Path, table: Table, batch_size: int
-) -> Iterator[dict[str, np.ndarray]]:
+) -> Iterator[dict[str, NDArray[Any]]]:
     """Stream encoded blocks back out of a CSV export."""
     path = CsvSink.relation_path(export_dir, table.name)
     with path.open("r", newline="", encoding="utf-8") as handle:
@@ -302,7 +303,7 @@ def _csv_parsers(table: Table) -> list:
 
 def _read_sqlite(
     export_dir: Path, table: Table, batch_size: int
-) -> Iterator[dict[str, np.ndarray]]:
+) -> Iterator[dict[str, NDArray[Any]]]:
     """Stream encoded blocks back out of a SQLite export."""
     path = SqliteSink.database_path(export_dir)
     if not path.is_file():
@@ -324,7 +325,7 @@ def _read_sqlite(
 
 def _read_parquet(
     export_dir: Path, table: Table, batch_size: int
-) -> Iterator[dict[str, np.ndarray]]:
+) -> Iterator[dict[str, NDArray[Any]]]:
     """Stream encoded blocks back out of a Parquet export."""
     from .parquet_sink import _import_pyarrow
 

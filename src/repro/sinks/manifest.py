@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 from ..core.errors import HydraError
@@ -49,7 +50,7 @@ class ColumnHasher:
     how the stream was cut into blocks.
     """
 
-    def __init__(self, table: Table):
+    def __init__(self, table: Table) -> None:
         """Prepare one sha256 stream per schema column of ``table``."""
         self.table = table
         self.rows = 0
@@ -57,7 +58,7 @@ class ColumnHasher:
             column.name: hashlib.sha256() for column in table.columns
         }
 
-    def update(self, block: Mapping[str, np.ndarray]) -> int:
+    def update(self, block: Mapping[str, NDArray[Any]]) -> int:
         """Absorb one encoded block; returns the number of rows absorbed."""
         count = 0
         for column in self.table.columns:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Mapping
 
-import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 from ..catalog.types import TypeKind
@@ -24,7 +24,7 @@ from .base import Sink, external_columns
 __all__ = ["ParquetSink", "parquet_available"]
 
 
-def _import_pyarrow():
+def _import_pyarrow() -> tuple[Any, Any]:
     """Import ``(pyarrow, pyarrow.parquet)`` or raise a clear error."""
     try:
         import pyarrow
@@ -60,7 +60,7 @@ class ParquetSink(Sink):
 
     format_name = "parquet"
 
-    def __init__(self, out_dir):
+    def __init__(self, out_dir: str | Path) -> None:
         """Create the sink rooted at ``out_dir`` (requires ``pyarrow``)."""
         self._pa, self._pq = _import_pyarrow()
         super().__init__(out_dir)
@@ -72,7 +72,7 @@ class ParquetSink(Sink):
         """The Parquet file one relation exports to."""
         return Path(out_dir) / f"{table_name}.parquet"
 
-    def _arrow_schema(self, table: Table):
+    def _arrow_schema(self, table: Table) -> Any:
         """Arrow schema mirroring the export's external value types."""
         pa = self._pa
         fields = []
@@ -91,7 +91,7 @@ class ParquetSink(Sink):
         self._schema = self._arrow_schema(table)
         self._writer = self._pq.ParquetWriter(path, self._schema)
 
-    def _backend_write(self, table: Table, block: Mapping[str, np.ndarray]) -> None:
+    def _backend_write(self, table: Table, block: Mapping[str, NDArray[Any]]) -> None:
         assert self._writer is not None
         decoded = external_columns(table, block)
         arrow_table = self._pa.table(

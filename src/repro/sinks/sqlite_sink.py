@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import sqlite3
 from pathlib import Path
-from typing import Mapping
+from typing import Any, Mapping
 
-import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Column, Table
 from ..catalog.types import TypeKind
@@ -51,7 +51,7 @@ class SqliteSink(Sink):
 
     format_name = "sqlite"
 
-    def __init__(self, out_dir):
+    def __init__(self, out_dir: str | Path) -> None:
         """Create the sink rooted at ``out_dir`` (created if missing)."""
         super().__init__(out_dir)
         path = self.database_path(self.out_dir)
@@ -78,7 +78,7 @@ class SqliteSink(Sink):
         )
         self._connection.execute("BEGIN")
 
-    def _backend_write(self, table: Table, block: Mapping[str, np.ndarray]) -> None:
+    def _backend_write(self, table: Table, block: Mapping[str, NDArray[Any]]) -> None:
         assert self._insert_sql is not None
         decoded = external_columns(table, block)
         rows = zip(*(decoded[name] for name in table.column_names))

@@ -94,7 +94,7 @@ def _tokenize(sql: str) -> list[tuple[str, str]]:
 
 
 class _TokenStream:
-    def __init__(self, tokens: list[tuple[str, str]]):
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
         self.tokens = tokens
         self.index = 0
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = [
     "Interval",
@@ -207,7 +208,7 @@ class IntervalSet:
 
     __slots__ = ("intervals",)
 
-    def __init__(self, intervals: Iterable[Interval] = ()):
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
         """Normalise ``intervals`` into a sorted, disjoint, merged tuple."""
         self.intervals: tuple[Interval, ...] = self._normalise(intervals)
 
@@ -295,7 +296,7 @@ class IntervalSet:
         """True if ``other`` is a subset of this set."""
         return other.subtract(self).is_empty
 
-    def membership_mask(self, values: np.ndarray) -> np.ndarray:
+    def membership_mask(self, values: NDArray[Any]) -> NDArray[Any]:
         """Vectorised membership test over an array of values."""
         values = np.asarray(values, dtype=np.float64)
         mask = np.zeros(values.shape, dtype=bool)
@@ -391,7 +392,7 @@ class IntervalSet:
         """Hash of the normalised interval tuple."""
         return hash(self.intervals)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Interval]:
         """Iterate over the member intervals in order."""
         return iter(self.intervals)
 
@@ -460,7 +461,7 @@ class AbstractPredicate:
     hashing/equality.
     """
 
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    def evaluate(self, columns: Mapping[str, NDArray[Any]]) -> NDArray[Any]:
         """Return a boolean mask for each row of the given column arrays."""
         raise NotImplementedError
 
@@ -614,7 +615,7 @@ class CompoundPredicate(AbstractPredicate):
 class TruePredicate(BasePredicate):
     """The always-true predicate (no filter)."""
 
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    def evaluate(self, columns: Mapping[str, NDArray[Any]]) -> NDArray[Any]:
         """Return an all-true mask of the input length."""
         length = len(next(iter(columns.values()))) if columns else 0
         return np.ones(length, dtype=bool)
@@ -661,7 +662,7 @@ class Comparison(BasePredicate):
         if self.op not in _COMPARISON_OPS:
             raise ValueError(f"unsupported comparison operator {self.op!r}")
 
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    def evaluate(self, columns: Mapping[str, NDArray[Any]]) -> NDArray[Any]:
         """Compare the column array element-wise against the constant."""
         values = np.asarray(columns[self.column], dtype=np.float64)
         if self.op == "=":
@@ -720,7 +721,7 @@ class InList(BasePredicate):
     column: str
     values: tuple[float, ...]
 
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    def evaluate(self, columns: Mapping[str, NDArray[Any]]) -> NDArray[Any]:
         """Test column membership in the constant list element-wise."""
         values = np.asarray(columns[self.column], dtype=np.float64)
         return np.isin(values, np.asarray(self.values, dtype=np.float64))
@@ -773,7 +774,7 @@ class ColumnComparison(BinaryPredicate):
         if self.op not in _COMPARISON_OPS:
             raise ValueError(f"unsupported comparison operator {self.op!r}")
 
-    def _resolve(self, columns: Mapping[str, np.ndarray], ref: ColumnRef) -> np.ndarray:
+    def _resolve(self, columns: Mapping[str, NDArray[Any]], ref: ColumnRef) -> NDArray[Any]:
         """Fetch one operand array by qualified, then bare, column name."""
         if ref.table is not None:
             qualified = f"{ref.table}.{ref.column}"
@@ -781,7 +782,7 @@ class ColumnComparison(BinaryPredicate):
                 return np.asarray(columns[qualified], dtype=np.float64)
         return np.asarray(columns[ref.column], dtype=np.float64)
 
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    def evaluate(self, columns: Mapping[str, NDArray[Any]]) -> NDArray[Any]:
         """Compare the two referenced column arrays element-wise."""
         left = self._resolve(columns, self.left)
         right = self._resolve(columns, self.right)
@@ -838,11 +839,11 @@ class And(CompoundPredicate):
 
     children: tuple[AbstractPredicate, ...]
 
-    def __init__(self, children: Iterable[AbstractPredicate]):
+    def __init__(self, children: Iterable[AbstractPredicate]) -> None:
         """Freeze the child iterable into a tuple."""
         object.__setattr__(self, "children", tuple(children))
 
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    def evaluate(self, columns: Mapping[str, NDArray[Any]]) -> NDArray[Any]:
         """AND the child masks (the empty conjunction is all-true)."""
         if not self.children:
             return TruePredicate().evaluate(columns)
@@ -911,11 +912,11 @@ class Or(CompoundPredicate):
 
     children: tuple[AbstractPredicate, ...]
 
-    def __init__(self, children: Iterable[AbstractPredicate]):
+    def __init__(self, children: Iterable[AbstractPredicate]) -> None:
         """Freeze the child iterable into a tuple."""
         object.__setattr__(self, "children", tuple(children))
 
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    def evaluate(self, columns: Mapping[str, NDArray[Any]]) -> NDArray[Any]:
         """OR the child masks (the empty disjunction is all-false)."""
         if not self.children:
             length = len(next(iter(columns.values()))) if columns else 0
@@ -1008,7 +1009,7 @@ class Not(CompoundPredicate):
 
     child: AbstractPredicate
 
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    def evaluate(self, columns: Mapping[str, NDArray[Any]]) -> NDArray[Any]:
         """Invert the child's mask."""
         return ~self.child.evaluate(columns)
 
@@ -1165,7 +1166,7 @@ class BoxCondition:
 
     __slots__ = ("conditions", "satisfiable")
 
-    def __init__(self, conditions: Mapping[str, IntervalSet], satisfiable: bool = True):
+    def __init__(self, conditions: Mapping[str, IntervalSet], satisfiable: bool = True) -> None:
         """Store the constrained columns, dropping unconstrained entries."""
         cleaned = {
             column: interval_set
@@ -1222,7 +1223,7 @@ class BoxCondition:
 
     # -- evaluation ------------------------------------------------------
 
-    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    def evaluate(self, columns: Mapping[str, NDArray[Any]]) -> NDArray[Any]:
         """Vectorised membership test over column arrays."""
         length = len(next(iter(columns.values()))) if columns else 0
         if not self.satisfiable:

@@ -100,7 +100,9 @@ class DisjunctiveJoinCondition:
 
     alternatives: tuple[JoinCondition, ...]
 
-    def __init__(self, alternatives: "list[JoinCondition] | tuple[JoinCondition, ...]"):
+    def __init__(
+        self, alternatives: "list[JoinCondition] | tuple[JoinCondition, ...]"
+    ) -> None:
         alternatives = tuple(alternatives)
         if len(alternatives) < 2:
             raise ValueError("a disjunctive join needs at least two alternatives")

@@ -12,9 +12,9 @@ run over real data and over regenerated data (the paper's ``datagen`` scan).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Protocol, runtime_checkable
+from typing import Any, Iterable, Iterator, Protocol, runtime_checkable
 
-import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Schema, Table
 from .table import TableData
@@ -47,7 +47,7 @@ class RelationProvider(Protocol):
 class MaterializedRelation:
     """Adapter presenting a :class:`TableData` through the provider protocol."""
 
-    def __init__(self, data: TableData):
+    def __init__(self, data: TableData) -> None:
         self.data = data
 
     @property
@@ -61,7 +61,7 @@ class MaterializedRelation:
     def row(self, index: int) -> tuple:
         return self.data.row(index)
 
-    def column(self, name: str) -> np.ndarray:
+    def column(self, name: str) -> NDArray[Any]:
         return self.data.column(name)
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 
@@ -25,7 +26,7 @@ class TableData:
     """Materialised contents of one relation, stored column-wise."""
 
     table: Table
-    columns: dict[str, np.ndarray]
+    columns: dict[str, NDArray[Any]]
 
     def __post_init__(self) -> None:
         lengths = {name: len(values) for name, values in self.columns.items()}
@@ -47,7 +48,7 @@ class TableData:
         are encoded through each column's type.
         """
         materialised = [list(row) for row in rows]
-        columns: dict[str, np.ndarray] = {}
+        columns: dict[str, NDArray[Any]] = {}
         for index, column in enumerate(table.columns):
             raw = [row[index] for row in materialised]
             if encoded:
@@ -58,7 +59,7 @@ class TableData:
 
     @classmethod
     def from_columns(
-        cls, table: Table, columns: Mapping[str, np.ndarray | Sequence[float]]
+        cls, table: Table, columns: Mapping[str, NDArray[Any] | Sequence[float]]
     ) -> "TableData":
         """Build from already-encoded column arrays."""
         arrays = {
@@ -83,7 +84,7 @@ class TableData:
             return 0
         return len(next(iter(self.columns.values())))
 
-    def column(self, name: str) -> np.ndarray:
+    def column(self, name: str) -> NDArray[Any]:
         if name not in self.columns:
             raise KeyError(f"table {self.table.name!r} has no column {name!r}")
         return self.columns[name]
@@ -104,7 +105,7 @@ class TableData:
 
     # -- bulk operations -------------------------------------------------
 
-    def select(self, mask: np.ndarray) -> "TableData":
+    def select(self, mask: NDArray[Any]) -> "TableData":
         """Return a new :class:`TableData` with only the rows where mask is true."""
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (self.row_count,):
@@ -114,7 +115,7 @@ class TableData:
             columns={name: values[mask] for name, values in self.columns.items()},
         )
 
-    def take(self, indices: np.ndarray) -> "TableData":
+    def take(self, indices: NDArray[Any]) -> "TableData":
         """Return a new :class:`TableData` with the rows at the given positions."""
         indices = np.asarray(indices, dtype=np.int64)
         return TableData(

@@ -18,8 +18,8 @@ from typing import Sequence
 import numpy as np
 
 from ..catalog.metadata import DatabaseMetadata
-from ..catalog.schema import Schema, Table
-from ..catalog.statistics import ColumnStatistics
+from ..catalog.schema import Column, Schema, Table
+from ..catalog.statistics import ColumnStatistics, TableStatistics
 from ..catalog.types import StringType
 from ..sql.predicates import And, Comparison, InList, Predicate
 from ..sql.query import JoinCondition, Query
@@ -189,7 +189,9 @@ class WorkloadGenerator:
             )
         return templates[:count]
 
-    def _pick_partition_column(self, candidates, stats):
+    def _pick_partition_column(
+        self, candidates: Sequence[Column], stats: TableStatistics
+    ) -> tuple[Column, ColumnStatistics] | None:
         """Prefer a low-cardinality categorical column, else any numeric one."""
         categorical = [
             column
@@ -213,7 +215,7 @@ class WorkloadGenerator:
         return column, stats.columns[column.name]
 
     def _disjoint_slices(
-        self, column, column_stats: ColumnStatistics, count: int
+        self, column: Column, column_stats: ColumnStatistics, count: int
     ) -> list[tuple[Predicate, str]]:
         """Disjoint equality / chunk-range predicates on the partition column."""
         slices: list[tuple[Predicate, str]] = []
@@ -244,7 +246,7 @@ class WorkloadGenerator:
         return slices
 
     def _column_predicate(
-        self, name: str, column, stats: ColumnStatistics
+        self, name: str, column: Column, stats: ColumnStatistics
     ) -> tuple[Predicate, str]:
         """A range / equality / IN predicate with a plausible selectivity."""
         if isinstance(column.dtype, StringType) and stats.distinct_count:

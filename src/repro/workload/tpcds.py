@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Any
 import numpy as np
+from numpy.typing import NDArray
 
 from ..catalog.schema import Column, ForeignKey, Schema, Table
 from ..catalog.types import FLOAT, INTEGER, StringType
@@ -229,7 +231,7 @@ def tpcds_schema() -> Schema:
     )
 
 
-def _skewed_foreign_keys(rng: np.random.Generator, count: int, domain: int) -> np.ndarray:
+def _skewed_foreign_keys(rng: np.random.Generator, count: int, domain: int) -> NDArray[Any]:
     """Zipf-skewed foreign-key choices folded into ``[0, domain)``."""
     raw = rng.zipf(1.3, size=count)
     return ((raw - 1) % domain).astype(np.int64)
