@@ -31,6 +31,7 @@ from repro.sinks import (
     sink_for_format,
     verify_export,
 )
+from repro.telemetry import telemetry_session
 
 #: Backends measured unconditionally (stdlib) and optionally (pyarrow).
 STDLIB_FORMATS = ("csv", "sqlite")
@@ -65,8 +66,10 @@ def test_e15_export_throughput(benchmark, toy_client, bench_tiny, tmp_path_facto
         out_dirs[format_name] = out_dir
         sink = sink_for_format(format_name, out_dir)
         start = time.perf_counter()
-        manifest = export_summary(summary, sink, workers=1)
+        with telemetry_session() as session:
+            manifest = export_summary(summary, sink, workers=1)
         elapsed = time.perf_counter() - start
+        snapshot = session.metrics.snapshot()
         assert manifest.total_rows() == total_rows
         validation = verify_export(summary, out_dir)
         assert validation.ok, validation.problems
@@ -76,7 +79,10 @@ def test_e15_export_throughput(benchmark, toy_client, bench_tiny, tmp_path_facto
             f"  {format_name:<8}: {elapsed:8.3f}s "
             f"-> {throughput[format_name]:>12,.0f} rows/s (export revalidated)"
         )
-        record("E15", f"{format_name}_rows_per_second", throughput[format_name])
+        record(
+            "E15", f"{format_name}_rows_per_second", throughput[format_name],
+            metrics={"counters": snapshot["counters"], "gauges": snapshot["gauges"]},
+        )
 
     # Content checksums are backend-independent: every manifest agrees.
     reference = manifests["csv"]

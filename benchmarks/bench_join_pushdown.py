@@ -33,6 +33,7 @@ from repro.executor.engine import ExecutionEngine
 from repro.plans.logical import plan_from_dict
 from repro.plans.planner import build_plan
 from repro.sql.parser import parse_query
+from repro.telemetry import telemetry_session
 from repro.verify.comparator import VolumetricComparator
 
 JOIN_COUNT_SQL = (
@@ -130,9 +131,13 @@ def test_e12_join_routes_and_count_fastpath(benchmark, toy_client):
         for factor, routes in timings.items()
     }
     benchmark.extra_info["speedup_at_largest_scale"] = round(speedup, 1)
-    record("E12", "join_count_fastpath_speedup", speedup)
 
     database = _regenerated_database(metadata, aqps, factors[-1])
+    # Attach the join-route counters of one instrumented fast-path run.
+    with telemetry_session() as session:
+        _run_route(database, plan, **ROUTES["fast-path"])
+    counters = session.metrics.snapshot()["counters"]
+    record("E12", "join_count_fastpath_speedup", speedup, metrics=counters)
     benchmark.pedantic(
         lambda: _run_route(database, plan, **ROUTES["fast-path"]), rounds=5, iterations=1
     )

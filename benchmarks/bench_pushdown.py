@@ -29,6 +29,7 @@ from repro.executor.engine import ExecutionEngine
 from repro.plans.logical import plan_from_dict
 from repro.plans.planner import build_plan
 from repro.sql.parser import parse_query
+from repro.telemetry import telemetry_session
 from repro.verify.comparator import VolumetricComparator
 
 COUNT_SQL = "select count(*) from R where R.S_fk >= 100 and R.S_fk < 700"
@@ -104,10 +105,15 @@ def test_e11_pushdown_and_fastpath_routes(benchmark, toy_client):
         for factor, routes in timings.items()
     }
     benchmark.extra_info["speedup_at_largest_scale"] = round(speedup, 1)
-    record("E11", "count_fastpath_speedup", speedup)
-    record("E11", "fastpath_seconds", largest["fast-path"])
 
     database = _regenerated_database(metadata, aqps, factors[-1])
+    # One instrumented fast-path run attaches the route/segment counters that
+    # explain the headline number to the benchmark records.
+    with telemetry_session() as session:
+        _run_route(database, plan, **ROUTES["fast-path"])
+    counters = session.metrics.snapshot()["counters"]
+    record("E11", "count_fastpath_speedup", speedup, metrics=counters)
+    record("E11", "fastpath_seconds", largest["fast-path"])
     benchmark.pedantic(
         lambda: _run_route(database, plan, **ROUTES["fast-path"]), rounds=5, iterations=1
     )

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 __all__ = ["record", "results_path", "load_results"]
 
@@ -51,19 +51,28 @@ def record(
     value: float,
     tiny: bool | None = None,
     path: str | Path | None = None,
+    metrics: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Append one ``{experiment, metric, value, tiny}`` record and return it.
 
     ``tiny`` defaults to whether the harness runs at ``REPRO_BENCH_TINY``
     smoke sizes.  Records are kept JSON-native (floats, bools, strings) so
     the file round-trips through any tooling.
+
+    ``metrics`` attaches a telemetry snapshot (or any JSON-native mapping,
+    e.g. selected counters from ``MetricsRegistry.snapshot()``) under a
+    ``"metrics"`` key, so benchmark records can carry the internal counters
+    that explain the headline number (segments skipped, LP iterations,
+    chunk latencies, ...) without changing the flat record shape.
     """
-    entry = {
+    entry: dict[str, Any] = {
         "experiment": str(experiment),
         "metric": str(metric),
         "value": float(value),
         "tiny": _TINY if tiny is None else bool(tiny),
     }
+    if metrics:
+        entry["metrics"] = json.loads(json.dumps(dict(metrics)))
     target = Path(path) if path is not None else results_path()
     entries = load_results(target)
     entries.append(entry)

@@ -23,8 +23,9 @@ import argparse
 import os
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from .client.anonymizer import Anonymizer
 from .client.extractor import AQPExtractor
@@ -42,6 +43,7 @@ from .sinks import (
     sink_for_format,
     verify_export,
 )
+from .telemetry.session import telemetry_session
 from .verify.comparator import VolumetricComparator
 from .verify.report import (
     format_build_report,
@@ -77,6 +79,57 @@ def _ensure_writable_directory(parser: argparse.ArgumentParser, path: Path) -> N
         parser.error(f"--out {path} cannot be created: {exc}")
     if not os.access(path, os.W_OK):
         parser.error(f"--out {path} is not writable")
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags (``--trace``/``--metrics``)."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON of the run (load it in Perfetto "
+        "or chrome://tracing, or summarize it with `hydra-trace FILE`)",
+    )
+    group.add_argument(
+        "--metrics", type=Path, default=None, metavar="FILE",
+        help="write the run's metric registry (counters, gauges, histograms) "
+        "as pretty-printed JSON",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="with --trace/--metrics: additionally record tracemalloc peak "
+        "memory and wall time per pipeline stage (adds measurable overhead)",
+    )
+
+
+def _check_telemetry_arguments(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    if args.profile and args.trace is None and args.metrics is None:
+        parser.error("--profile only records into --trace/--metrics output; "
+                     "pass at least one of them")
+
+
+@contextmanager
+def _telemetry_scope(args: argparse.Namespace) -> Iterator[None]:
+    """Activate telemetry for the run when ``--trace``/``--metrics`` asked.
+
+    The output files are written even when the run dies mid-way — a partial
+    trace is exactly what one wants to look at in that case.  Without the
+    flags this is a plain pass-through and the run stays un-instrumented.
+    """
+    if args.trace is None and args.metrics is None:
+        yield
+        return
+    with telemetry_session(profile=args.profile) as session:
+        try:
+            yield
+        finally:
+            if args.trace is not None:
+                session.write_trace(args.trace)
+                print(f"wrote trace {args.trace}")
+            if args.metrics is not None:
+                session.write_metrics(args.metrics)
+                print(f"wrote metrics {args.metrics}")
 
 
 def _build_package(dataset: str, scale: float, seed: int, queries: int) -> InformationPackage:
@@ -183,7 +236,9 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
         "(default: REPRO_WORKERS or serial; output is bit-identical)",
     )
     parser.add_argument("--output", type=Path, default=Path("summary.json"))
+    _add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
+    _check_telemetry_arguments(parser, args)
     names: list[str] = []
     if args.materialize is not None:
         seen = set()
@@ -216,6 +271,17 @@ def vendor_main(argv: Sequence[str] | None = None) -> int:
     if args.out is not None:
         _ensure_writable_directory(parser, args.out)
 
+    with _telemetry_scope(args):
+        return _vendor_run(parser, args, names, materialize_all)
+
+
+def _vendor_run(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    names: list[str],
+    materialize_all: bool,
+) -> int:
+    """The vendor build proper, running inside the telemetry scope."""
     loaded = load_package_file(args.package)
     if names and not materialize_all:
         known_tables = set(loaded.metadata.schema.table_names)
@@ -374,7 +440,9 @@ def verify_main(argv: Sequence[str] | None = None) -> int:
         "(default: REPRO_WORKERS or serial; output is bit-identical, rate "
         "limits pace the merged stream)",
     )
+    _add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
+    _check_telemetry_arguments(parser, args)
     if args.against is not None:
         for flag, inapplicable in (
             ("--rows-per-second", args.rows_per_second is not None),
@@ -385,6 +453,12 @@ def verify_main(argv: Sequence[str] | None = None) -> int:
             if inapplicable:
                 parser.error(f"{flag} does not apply to --against export validation")
 
+    with _telemetry_scope(args):
+        return _verify_run(args)
+
+
+def _verify_run(args: argparse.Namespace) -> int:
+    """The verification run proper, running inside the telemetry scope."""
     package = InformationPackage.load(args.package)
     summary = DatabaseSummary.load(args.summary)
 

@@ -57,4 +57,20 @@ class ParallelGenerationError(HydraError):
 
     Carries the failing worker's shard and traceback text so the parent
     process can report the root cause without sharing memory with workers.
+    ``lane`` is the failing worker's lane id and ``last_completed_chunk``
+    the global index of the last chunk that lane fully streamed back
+    (``None`` when it died before completing any) — both sourced from the
+    parent-side per-lane accounting, so they are available even when the
+    worker died without a word.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lane: int | None = None,
+        last_completed_chunk: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.lane = lane
+        self.last_completed_chunk = last_completed_chunk

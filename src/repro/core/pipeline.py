@@ -37,6 +37,8 @@ from ..parallel.pool import default_min_parallel_rows, default_workers
 from ..plans.aqp import AnnotatedQueryPlan
 from ..sql.predicates import BoxCondition, Interval, IntervalSet
 from ..storage.database import Database, MaterializedRelation
+from ..telemetry.profile import profile_stage
+from ..telemetry.session import add_counter, observe, span
 from .alignment import AlignedRelation, DeterministicAligner
 from .constraints import CardinalityConstraint, RelationConstraints, SymbolicPredicate
 from .errors import HydraError, InfeasibleConstraintsError
@@ -296,31 +298,34 @@ class Hydra:
         """Run the full pipeline over a workload of AQPs."""
         start = time.perf_counter()
         aqps = list(aqps)
-        workload = decompose_workload(aqps, self.metadata)
+        with span("hydra.build_summary", queries=len(aqps)), profile_stage("build_summary"):
+            workload = decompose_workload(aqps, self.metadata)
 
-        report = SummaryBuildReport()
-        summary = DatabaseSummary(schema=self.metadata.schema)
-        aligned: dict[str, AlignedRelation] = {}
-        states: dict[str, RelationBuildState] = {}
+            report = SummaryBuildReport()
+            summary = DatabaseSummary(schema=self.metadata.schema)
+            aligned: dict[str, AlignedRelation] = {}
+            states: dict[str, RelationBuildState] = {}
 
-        for table_name in self.metadata.schema.topological_order():
-            table = self.metadata.schema.table(table_name)
-            info, aligned_relation, state = self._build_relation(table, workload, aligned)
-            aligned[table_name] = aligned_relation
-            states[table_name] = state
-            summary.add_relation(aligned_relation.summary)
-            report.relations[table_name] = info
+            for table_name in self.metadata.schema.topological_order():
+                table = self.metadata.schema.table(table_name)
+                info, aligned_relation, state = self._build_relation(table, workload, aligned)
+                aligned[table_name] = aligned_relation
+                states[table_name] = state
+                summary.add_relation(aligned_relation.summary)
+                report.relations[table_name] = info
+                add_counter("pipeline.relations_built")
 
-        report.referential = enforce_referential_integrity(summary)
-        summary.validate()
-        report.total_seconds = time.perf_counter() - start
-        summary.build_info = {
-            "mode": self.mode,
-            "alignment": self.alignment,
-            "total_seconds": report.total_seconds,
-            "lp_variables": report.total_lp_variables(),
-            "constraints": report.total_constraints(),
-        }
+            with span("hydra.referential_integrity"):
+                report.referential = enforce_referential_integrity(summary)
+            summary.validate()
+            report.total_seconds = time.perf_counter() - start
+            summary.build_info = {
+                "mode": self.mode,
+                "alignment": self.alignment,
+                "total_seconds": report.total_seconds,
+                "lp_variables": report.total_lp_variables(),
+                "constraints": report.total_constraints(),
+            }
         return HydraBuildResult(
             summary=summary, report=report, aqps=aqps, aligned=aligned, states=states
         )
@@ -364,6 +369,15 @@ class Hydra:
         :meth:`extend_summary` or :meth:`restore_result` of a Hydra with the
         same configuration (mode, alignment, row-count overrides).
         """
+        with span("hydra.extend_summary"), profile_stage("extend_summary"):
+            return self._extend_summary_impl(result, new_aqps, reuse_feasible_solutions)
+
+    def _extend_summary_impl(
+        self,
+        result: HydraBuildResult,
+        new_aqps: Iterable[AnnotatedQueryPlan],
+        reuse_feasible_solutions: bool,
+    ) -> HydraBuildResult:
         start = time.perf_counter()
         new_aqps = list(new_aqps)
         if not result.supports_extension:
@@ -400,6 +414,7 @@ class Hydra:
                 previous_info = result.report.relations.get(table_name)
                 if previous_info is not None:
                     report.relations[table_name] = replace(previous_info, reused=True)
+                add_counter("pipeline.relations_reused")
                 continue
             table = self.metadata.schema.table(table_name)
             warm_counts = None
@@ -416,6 +431,7 @@ class Hydra:
             states[table_name] = state
             report.relations[table_name] = info
             replacements[table_name] = aligned_relation.summary
+            add_counter("pipeline.relations_resolved")
 
         if replacements:
             summary = result.summary.splice(replacements)
@@ -637,6 +653,31 @@ class Hydra:
                 + "; summary has: "
                 + ", ".join(repr(name) for name in sorted(summary.relations))
             )
+        with span("hydra.regenerate", materialized=len(materialize_set)), profile_stage(
+            "regenerate"
+        ):
+            return self._regenerate_impl(
+                summary,
+                materialize_set,
+                rate_limiter,
+                batch_size,
+                shared_rate_limiter,
+                workers,
+                min_parallel_rows,
+                sink,
+            )
+
+    def _regenerate_impl(
+        self,
+        summary: DatabaseSummary,
+        materialize_set: set[str],
+        rate_limiter: RateLimiter | None,
+        batch_size: int,
+        shared_rate_limiter: bool,
+        workers: int | None,
+        min_parallel_rows: int | None,
+        sink: "Sink | None",
+    ) -> Database:
         if sink is not None:
             # Imported lazily: repro.sinks imports this module at package
             # init, so a module-level import back would be circular.  The
@@ -666,7 +707,10 @@ class Hydra:
         ):
             table = summary.schema.table(table_name)
             if table_name in materialize_set:
-                database.attach(table_name, MaterializedRelation(relation.materialize(table)))
+                with span("regen.materialize", relation=table_name):
+                    database.attach(
+                        table_name, MaterializedRelation(relation.materialize(table))
+                    )
             else:
                 database.attach(table_name, relation)
         return database
@@ -785,6 +829,25 @@ class Hydra:
         prev_state: RelationBuildState | None = None,
         warm_counts: NDArray[Any] | None = None,
     ) -> tuple[RelationBuildInfo, AlignedRelation, RelationBuildState]:
+        with span("solve.relation", relation=table.name) as relation_span:
+            info, aligned_relation, state = self._build_relation_impl(
+                table, workload, aligned, prev_state, warm_counts
+            )
+            relation_span.annotate(
+                regions=info.num_regions,
+                status=info.status,
+                warm_start=info.warm_start,
+            )
+        return info, aligned_relation, state
+
+    def _build_relation_impl(
+        self,
+        table: Table,
+        workload: WorkloadConstraints,
+        aligned: Mapping[str, AlignedRelation],
+        prev_state: RelationBuildState | None,
+        warm_counts: NDArray[Any] | None,
+    ) -> tuple[RelationBuildInfo, AlignedRelation, RelationBuildState]:
         relation_constraints = workload.for_relation(table.name)
         row_count, constraints, cardinalities, constraint_signature = (
             self._relation_signatures(table.name, relation_constraints)
@@ -859,6 +922,11 @@ class Hydra:
             regions = partitioner.resume(grounded_checkpoint, partition_boxes[boundary:])
         partition_seconds = time.perf_counter() - partition_start
         checkpoint = partitioner.last_checkpoint
+        observe("solve.partition_seconds", partition_seconds)
+        if warm_partition:
+            add_counter("warmstart.partition_resumed")
+        if identical_partition:
+            add_counter("warmstart.partition_identical")
 
         # Warm start tier 3 — provably identical LP: unchanged partition,
         # constraint signature and row count derive the exact problem already
@@ -879,6 +947,7 @@ class Hydra:
             fallback = prev_state.fallback
             solve_seconds = 0.0
             warm_solve = True
+            add_counter("warmstart.lp_skipped")
         else:
             problem = build_lp(
                 relation=table.name,
@@ -904,6 +973,7 @@ class Hydra:
                     and prev_state.targets is not None
                 ):
                     targets = prev_state.targets
+                    add_counter("warmstart.targets_reused")
                 else:
                     targets = self._region_targets(table, regions, row_count, aligned)
 

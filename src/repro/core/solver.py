@@ -39,6 +39,7 @@ from typing import Any, Literal
 import numpy as np
 from numpy.typing import NDArray
 
+from ..telemetry.session import add_counter, observe
 from .errors import InfeasibleConstraintsError, SolverError
 from .lp import LPProblem
 
@@ -114,13 +115,17 @@ class LPSolver:
         if warm_start is not None:
             warm = self._try_warm_start(problem, warm_start)
             if warm is not None:
+                add_counter("solver.warm_start.reused")
                 return warm
         start = time.perf_counter()
         if self.mode == "exact":
-            counts, status, objective = self._solve_exact(problem, targets)
+            counts, status, objective, iterations = self._solve_exact(problem, targets)
         else:
-            counts, status, objective = self._solve_soft(problem)
+            counts, status, objective, iterations = self._solve_soft(problem)
         elapsed = time.perf_counter() - start
+        add_counter("solver.lp_solves")
+        add_counter("solver.lp_iterations", float(iterations))
+        observe("solver.lp_seconds", elapsed)
 
         residuals = problem.residuals(counts)
         relative_errors = problem.relative_errors(counts)
@@ -137,6 +142,7 @@ class LPSolver:
             relative_errors=relative_errors,
             mode=self.mode,
             objective=objective,
+            metadata={"lp_iterations": iterations},
         )
 
     # -- internals --------------------------------------------------------
@@ -188,7 +194,7 @@ class LPSolver:
 
     def _solve_exact(
         self, problem: LPProblem, targets: NDArray[Any] | None = None
-    ) -> tuple[NDArray[Any], str, float]:
+    ) -> tuple[NDArray[Any], str, float, int]:
         self._require_scipy()
         n = problem.num_variables
         if targets is None:
@@ -204,7 +210,7 @@ class LPSolver:
                 raise InfeasibleConstraintsError(
                     problem.relation, f"LP solver status: {result.message}"
                 )
-            return np.maximum(result.x, 0.0), "optimal", float(result.fun)
+            return np.maximum(result.x, 0.0), "optimal", float(result.fun), _iterations(result)
 
         # Statistics-guided selection: minimise Σ t_j with t_j ≥ |x_j − e_j|.
         # The deviation constraints are two identity blocks, so they are built
@@ -239,9 +245,14 @@ class LPSolver:
             raise InfeasibleConstraintsError(
                 problem.relation, f"LP solver status: {result.message}"
             )
-        return np.maximum(result.x[:n], 0.0), "optimal-guided", float(result.fun)
+        return (
+            np.maximum(result.x[:n], 0.0),
+            "optimal-guided",
+            float(result.fun),
+            _iterations(result),
+        )
 
-    def _solve_soft(self, problem: LPProblem) -> tuple[NDArray[Any], str, float]:
+    def _solve_soft(self, problem: LPProblem) -> tuple[NDArray[Any], str, float, int]:
         """Minimise the L1 norm of constraint violations.
 
         Variables: [x (regions), u (positive slack), v (negative slack)] with
@@ -274,7 +285,15 @@ class LPSolver:
                 f"soft LP for relation {problem.relation!r} failed: {result.message}"
             )
         counts = np.maximum(result.x[:n], 0.0)
-        return counts, "soft-optimal", float(result.fun)
+        return counts, "soft-optimal", float(result.fun), _iterations(result)
+
+
+def _iterations(result: Any) -> int:
+    """Iteration count of a scipy ``linprog`` result (0 when unreported)."""
+    try:
+        return int(getattr(result, "nit", 0) or 0)
+    except (TypeError, ValueError):
+        return 0
 
 
 def repair_rounding(

@@ -27,6 +27,7 @@ from numpy.typing import NDArray
 
 from ..catalog.schema import Table
 from ..sql.predicates import BoxCondition, columns_with_dependencies
+from ..telemetry.session import add_counter
 from .errors import SummaryError
 from .summary import DatabaseSummary, RelationSummary
 
@@ -204,15 +205,18 @@ class TupleGenerator:
             if segment_end <= lo:
                 continue  # every yield of this segment starts before lo
             if self.summary.row_excluded(position, box, pk_column=pk):
+                add_counter("tuplegen.segments_skipped")
                 continue
             if skip_box is not None and self.summary.row_excluded(
                 position, skip_box, pk_column=pk
             ):
                 matched = self.summary.count_matching_row(position, box, pk_column=pk)
                 if matched is not None:
+                    add_counter("tuplegen.segments_semijoin_skipped")
                     if matched and segment_start >= lo:
                         yield segment_start, 0, matched, {}
                     continue
+            add_counter("tuplegen.segments_scanned")
             # First batch whose (segment-anchored) start falls in the shard.
             cursor = first_owned_batch_start(segment_start, lo, batch_size)
             while cursor < segment_end and cursor < hi:

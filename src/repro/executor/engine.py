@@ -51,31 +51,64 @@ from ..sql.predicates import (
 )
 from ..sql.query import DisjunctiveJoinCondition
 from ..storage.database import Database, MaterializedRelation, RelationProvider
+from ..telemetry.session import add_counter, is_active, span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.summary import RelationSummary
 
-__all__ = ["ExecutionResult", "ExecutionEngine", "ExecutorError"]
+__all__ = ["ExecutionResult", "ExecutionEngine", "ExecutorError", "RouteEvent"]
 
 
 class ExecutorError(RuntimeError):
     """Raised when a plan cannot be executed against the given database."""
 
 
+@dataclass(frozen=True)
+class RouteEvent:
+    """One routing decision made during a plan execution.
+
+    ``kind`` is the decision point (``"aggregate"`` for the summary
+    fast path vs streaming, ``"join"`` for streaming vs materialising
+    joins); ``route`` is the route taken; ``reason`` explains *why* a fast
+    path was not taken (``None`` when it was).  The same names feed the
+    ``engine.route.<kind>.<route>`` and ``engine.fallback.<kind>.<reason>``
+    telemetry counters (see docs/OBSERVABILITY.md).
+    """
+
+    kind: str
+    route: str
+    reason: str | None = None
+
+
 @dataclass
 class ExecutionResult:
     """Output block of a plan execution.
 
-    ``aggregate_route`` records how a top-level aggregate was answered:
-    ``"summary"`` when it was served from the relation summaries without
-    generating tuples, ``"streaming"`` when the child plan was executed, and
-    ``None`` when the plan has no aggregate root.
+    ``route_events`` is the ordered list of routing decisions the engine
+    made; :attr:`aggregate_route` and :attr:`fallback_reasons` are thin
+    views over it.  ``aggregate_route`` records how a top-level aggregate
+    was answered: ``"summary"`` when it was served from the relation
+    summaries without generating tuples, ``"streaming"`` when the child
+    plan was executed, and ``None`` when the plan has no aggregate root.
     """
 
     columns: dict[str, NDArray[Any]]
     row_count: int
     scanned_rows: int = 0
-    aggregate_route: str | None = None
+    route_events: list[RouteEvent] = field(default_factory=list)
+
+    @property
+    def aggregate_route(self) -> str | None:
+        """How the top-level aggregate was answered (view over route events)."""
+        for event in reversed(self.route_events):
+            if event.kind == "aggregate":
+                return event.route
+        return None
+
+    @property
+    def fallback_reasons(self) -> list[str]:
+        """Why fast paths were not taken, in decision order."""
+        return [event.reason for event in self.route_events if event.reason is not None]
 
     def column(self, name: str) -> NDArray[Any]:
         if name in self.columns:
@@ -147,7 +180,8 @@ class ExecutionEngine:
     summary_fastpath: bool = True
     streaming_join: bool = True
     _scanned_rows: int = field(default=0, init=False)
-    _aggregate_route: "str | None" = field(default=None, init=False)
+    _route_events: list[RouteEvent] = field(default_factory=list, init=False)
+    _fallback_reason: "str | None" = field(default=None, init=False)
     _pushdowns: dict[int, ScanPushdown] = field(default_factory=dict, init=False)
     _semijoins: dict[int, BoxCondition] = field(default_factory=dict, init=False)
 
@@ -160,20 +194,52 @@ class ExecutionEngine:
     def execute(self, plan: PlanNode) -> ExecutionResult:
         """Execute a plan, optionally annotating node cardinalities in place."""
         self._scanned_rows = 0
-        self._aggregate_route = None
+        self._route_events = []
+        self._fallback_reason = None
         self._pushdowns = compute_pushdowns(plan, self.schema) if self.pushdown else {}
         self._semijoins = (
             compute_semijoin_pushdowns(plan, self.schema, self._plan_summaries(plan))
             if self.pushdown and self.streaming_join
             else {}
         )
-        block = self._execute_node(plan)
+        with span("engine.execute") as execute_span:
+            block = self._execute_node(plan)
+            if is_active() and self._route_events:
+                execute_span.annotate(
+                    routes=[f"{event.kind}:{event.route}" for event in self._route_events],
+                    fallback_reasons=[
+                        event.reason for event in self._route_events if event.reason
+                    ],
+                )
         return ExecutionResult(
             columns=block.columns,
             row_count=block.row_count,
             scanned_rows=self._scanned_rows,
-            aggregate_route=self._aggregate_route,
+            route_events=list(self._route_events),
         )
+
+    # -- route accounting --------------------------------------------------
+
+    def _record_route(self, kind: str, route: str, reason: str | None = None) -> None:
+        """Record one routing decision (result view + telemetry counters)."""
+        self._route_events.append(RouteEvent(kind=kind, route=route, reason=reason))
+        add_counter(f"engine.route.{kind}.{route}")
+        if reason is not None:
+            add_counter(f"engine.fallback.{kind}.{reason}")
+
+    def _fallback(self, reason: str) -> None:
+        """Note why the current fast-path attempt is about to bail out.
+
+        The pending reason is attached to the route event recorded by the
+        caller that initiated the attempt (``_execute_join`` /
+        ``_execute_count`` / ``_execute_sum_avg``).
+        """
+        self._fallback_reason = reason
+
+    def _take_fallback_reason(self) -> str | None:
+        pending = self._fallback_reason
+        self._fallback_reason = None
+        return pending
 
     # -- node dispatch ---------------------------------------------------
 
@@ -380,9 +446,14 @@ class ExecutionEngine:
 
     def _execute_join(self, node: JoinNode) -> _Block:
         if self.pushdown and self.streaming_join:
+            self._fallback_reason = None
             block = self._execute_streaming_join(node)
             if block is not None:
+                self._record_route("join", "streaming")
                 return block
+            self._record_route(
+                "join", "materializing", self._take_fallback_reason() or "not-applicable"
+            )
         left = self._execute_node(node.left)
         right = self._execute_node(node.right)
         condition = node.condition
@@ -501,12 +572,15 @@ class ExecutionEngine:
         if isinstance(condition, DisjunctiveJoinCondition):
             # No single probe key column exists; the materialising route
             # unions the alternatives instead.
+            self._fallback("disjunctive-condition")
             return None
         if condition.left_table == condition.right_table:
+            self._fallback("self-join")
             return None  # self-joins keep the materialising route
         left_leaf = self._streamable_leaf(node.left)
         right_leaf = self._streamable_leaf(node.right)
         if left_leaf is None and right_leaf is None:
+            self._fallback("no-streamable-leaf")
             return None
         if left_leaf is not None and right_leaf is not None:
             left_rows = self._estimated_leaf_rows(*left_leaf)
@@ -516,11 +590,13 @@ class ExecutionEngine:
             probe_is_left = left_leaf is not None
         scan, filter_node = left_leaf if probe_is_left else right_leaf  # type: ignore[misc]
         if not condition.involves(scan.table):
+            self._fallback("condition-table-mismatch")
             return None
         probe_key = condition.side_column(scan.table)
         build_table, build_key = condition.other_side(scan.table)
         table = self.schema.table(scan.table)
         if not table.has_column(probe_key):
+            self._fallback("probe-key-missing")
             return None
         provider = self.database.provider(scan.table)
 
@@ -529,6 +605,7 @@ class ExecutionEngine:
             None if push is None else push.output_columns, table
         )
         if probe_key not in output:
+            self._fallback("probe-key-not-in-output")
             return None  # the join key must flow out of the probe scan
         predicate = filter_node.predicate if filter_node is not None else None
         box = (
@@ -639,18 +716,21 @@ class ExecutionEngine:
         raise ExecutorError(f"unsupported aggregate {node.function!r}")
 
     def _execute_count(self, node: AggregateNode) -> _Block:
+        reason = "fastpath-disabled"
         if self.summary_fastpath:
+            self._fallback_reason = None
             fast = self._summary_count(node.child)
             if fast is None:
                 fast = self._summary_join_count(node.child)
             if fast is not None:
-                self._aggregate_route = "summary"
+                self._record_route("aggregate", "summary")
                 return _Block(
                     columns={"count": np.asarray([fast], dtype=np.int64)},
                     row_count=1,
                 )
+            reason = self._take_fallback_reason() or "not-applicable"
         child = self._execute_node(node.child)
-        self._aggregate_route = "streaming"
+        self._record_route("aggregate", "streaming", reason)
         return _Block(
             columns={"count": np.asarray([child.row_count], dtype=np.int64)},
             row_count=1,
@@ -661,11 +741,13 @@ class ExecutionEngine:
             raise ExecutorError(
                 f"aggregate {node.function!r} requires a column argument"
             )
+        reason = "fastpath-disabled"
         if self.summary_fastpath:
+            self._fallback_reason = None
             fast = self._summary_sum(node.child, node.argument)
             if fast is not None:
                 count, total = fast
-                self._aggregate_route = "summary"
+                self._record_route("aggregate", "summary")
                 value = total if node.function == "sum" else (
                     total / count if count else 0.0
                 )
@@ -673,12 +755,13 @@ class ExecutionEngine:
                     columns={node.function: np.asarray([value], dtype=np.float64)},
                     row_count=1,
                 )
+            reason = self._take_fallback_reason() or "not-applicable"
         child = self._execute_node(node.child)
         resolved = self._resolve_output_column(child, node.argument)
         values = np.asarray(child.columns[resolved], dtype=np.float64)
         total = math.fsum(values.tolist())
         count = child.row_count
-        self._aggregate_route = "streaming"
+        self._record_route("aggregate", "streaming", reason)
         value = total if node.function == "sum" else (total / count if count else 0.0)
         return _Block(
             columns={node.function: np.asarray([value], dtype=np.float64)},
@@ -698,11 +781,13 @@ class ExecutionEngine:
         """
         leaf = leaf_scan(child)
         if leaf is None:
+            self._fallback("no-leaf-scan")
             return None
         scan, filter_node = leaf
 
         summary = self._relation_summary(scan.table)
         if summary is None:
+            self._fallback("not-summary-backed")
             return None
         provider = self.database.provider(scan.table)
 
@@ -712,9 +797,11 @@ class ExecutionEngine:
         else:
             box = self._predicate_box(filter_node.predicate, table)
             if box is None:
+                self._fallback("predicate-not-box")
                 return None
         count = summary.count_matching(box, pk_column=table.primary_key)
         if count is None:
+            self._fallback("summary-not-exact")
             return None
         if self.annotate:
             scan.cardinality = provider.row_count
@@ -760,6 +847,7 @@ class ExecutionEngine:
 
         anchor_leaf = leaf_scan(node)
         if anchor_leaf is None:
+            self._fallback("no-leaf-scan")
             return None
         leaves: dict[str, tuple[ScanNode, FilterNode | None]] = {
             anchor_leaf[0].table: anchor_leaf
@@ -768,6 +856,7 @@ class ExecutionEngine:
         for join in spine:
             right_leaf = leaf_scan(join.right)
             if right_leaf is None or right_leaf[0].table in leaves:
+                self._fallback("join-shape-unsupported")
                 return None
             leaves[right_leaf[0].table] = right_leaf
             step_tables.append(right_leaf[0].table)
@@ -776,6 +865,7 @@ class ExecutionEngine:
         for join in spine:
             edge = fk_join_edge(join.condition, self.schema)
             if edge is None or not set(edge[::2]) <= set(leaves):
+                self._fallback("non-fk-join")
                 return None
             edges.append(edge)
 
@@ -786,6 +876,7 @@ class ExecutionEngine:
             if summary is None or not callable(
                 getattr(summary, "matching_pk_intervals", None)
             ):
+                self._fallback("not-summary-backed")
                 return None
             summaries[table_name] = summary
             table = self.schema.table(table_name)
@@ -794,6 +885,7 @@ class ExecutionEngine:
             else:
                 box = self._predicate_box(filter_node.predicate, table)
                 if box is None:
+                    self._fallback("predicate-not-box")
                     return None
             boxes[table_name] = box
 
@@ -805,6 +897,7 @@ class ExecutionEngine:
                 pk_column=self.schema.table(table_name).primary_key,
             )
             if count is None:
+                self._fallback("summary-not-exact")
                 return None
             filter_counts[table_name] = int(count)
 
@@ -818,6 +911,7 @@ class ExecutionEngine:
                 prefix, edges[: index + 1], boxes, summaries
             )
             if count is None:
+                self._fallback("join-not-exactly-countable")
                 return None
             join_counts.append(count)
 
@@ -977,14 +1071,17 @@ class ExecutionEngine:
         """
         leaf = leaf_scan(child)
         if leaf is None:
+            self._fallback("no-leaf-scan")
             return None
         scan, filter_node = leaf
         summary = self._relation_summary(scan.table)
         if summary is None:
+            self._fallback("not-summary-backed")
             return None
         table = self.schema.table(scan.table)
         column = self._aggregate_argument_column(table, scan.table, argument)
         if column is None:
+            self._fallback("argument-not-resolvable")
             return None
         provider = self.database.provider(scan.table)
         if filter_node is None:
@@ -992,6 +1089,7 @@ class ExecutionEngine:
         else:
             box = self._predicate_box(filter_node.predicate, table)
             if box is None:
+                self._fallback("predicate-not-box")
                 return None
 
         pk_column = table.primary_key
@@ -1003,19 +1101,23 @@ class ExecutionEngine:
                 continue
             matched = self._row_matched_count(summary, position, row, match)
             if matched is None:
+                self._fallback("summary-not-exact")
                 return None
             if matched == 0:
                 continue
             count_total += matched
             if column == pk_column:
                 if match.partial_fks:
-                    return None  # matching pks scattered by the fk spread
+                    # Matching pks scattered by the fk spread: not summable.
+                    self._fallback("pk-scattered-by-fk")
+                    return None
                 if match.pk_window is not None:
                     terms.append(match.pk_window.sum_integers())
                 else:
                     start, end = summary.pk_interval_of_row(position)
                     terms.append(Interval(float(start), float(end)).sum_integers())
             elif column in row.fk_refs:
+                self._fallback("fk-argument-not-summable")
                 return None  # round-robin targets vary per tuple
             else:
                 terms.append(matched * float(row.values.get(column, 0.0)))

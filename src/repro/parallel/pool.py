@@ -39,7 +39,9 @@ import multiprocessing as mp
 import os
 import pickle
 import queue as queue_module
+import time
 import traceback
+from contextlib import nullcontext
 from typing import Any, Iterator, Sequence
 
 from numpy.typing import NDArray
@@ -49,6 +51,7 @@ from ..core.errors import ParallelGenerationError
 from ..core.summary import RelationSummary
 from ..core.tuplegen import TupleGenerator
 from ..sql.predicates import BoxCondition
+from ..telemetry.session import TelemetrySession, active_session, telemetry_session
 from .sharding import Shard, ShardPlan
 
 __all__ = ["default_min_parallel_rows", "default_workers", "iter_parallel_blocks"]
@@ -56,9 +59,15 @@ __all__ = ["default_min_parallel_rows", "default_workers", "iter_parallel_blocks
 _BLOCK = 0
 _CHUNK_END = 1
 _ERROR = 2
+#: Worker span buffer + metrics delta, shipped just before each _CHUNK_END so
+#: the parent merges telemetry in chunk drain order (causal order).
+_TELEMETRY = 3
 
 #: Seconds between liveness checks while waiting on a worker's queue.
 _POLL_SECONDS = 1.0
+
+#: Shared inert context manager (nullcontext is stateless and reusable).
+_NULL_CONTEXT = nullcontext()
 
 
 def default_workers() -> int:
@@ -99,6 +108,7 @@ def default_min_parallel_rows(batch_size: int, workers: int) -> int:
 
 def _lane_worker(
     payload: bytes,
+    lane: int,
     windows: list[tuple[int, int]],
     results: "mp.queues.Queue[tuple[int, Any]]",
 ) -> None:
@@ -107,20 +117,46 @@ def _lane_worker(
     Emits a ``_CHUNK_END`` marker after each window so the parent can drain
     chunk-by-chunk in global order.  Module-level (and fed purely by its
     arguments) so it is importable and picklable under ``spawn``.
+
+    When the parent had telemetry active, the worker runs a local
+    :class:`~repro.telemetry.session.TelemetrySession` and ships its span
+    buffer and metric deltas back as a ``_TELEMETRY`` message just before
+    every ``_CHUNK_END``, so the parent merges them in chunk drain order.
     """
     try:
-        table, summary, box, skip_box, columns, batch_size = pickle.loads(payload)
+        table, summary, box, skip_box, columns, batch_size, traced = pickle.loads(payload)
         generator = TupleGenerator(table=table, summary=summary)
-        for window in windows:
-            for item in generator.iter_filtered_blocks(
-                box,
-                batch_size=batch_size,
-                columns=columns,
-                skip_box=skip_box,
-                offsets=window,
-            ):
-                results.put((_BLOCK, item))
-            results.put((_CHUNK_END, None))
+        session = TelemetrySession() if traced else None
+        with telemetry_session(session) if session is not None else _NULL_CONTEXT:
+            for chunk, window in enumerate(windows):
+                chunk_started = time.perf_counter()
+                if session is not None:
+                    chunk_span = session.tracer.span(
+                        "pool.chunk", lane=lane, chunk=chunk, offset=window[0]
+                    )
+                else:
+                    chunk_span = None
+                with chunk_span if chunk_span is not None else _NULL_CONTEXT:
+                    for item in generator.iter_filtered_blocks(
+                        box,
+                        batch_size=batch_size,
+                        columns=columns,
+                        skip_box=skip_box,
+                        offsets=window,
+                    ):
+                        results.put((_BLOCK, item))
+                if session is not None:
+                    session.metrics.observe(
+                        "pool.chunk.seconds", time.perf_counter() - chunk_started
+                    )
+                    session.metrics.increment(f"pool.lane.{lane}.chunks_completed")
+                    results.put(
+                        (
+                            _TELEMETRY,
+                            (lane, session.tracer.export_buffer(), session.metrics.drain()),
+                        )
+                    )
+                results.put((_CHUNK_END, None))
     except BaseException as exc:  # noqa: BLE001 - ship the failure to the parent
         try:
             results.put((_ERROR, (type(exc).__name__, str(exc), traceback.format_exc())))
@@ -136,6 +172,7 @@ def _next_item(
     process: mp.process.BaseProcess,
     shard: Shard,
     table: str,
+    last_completed_chunk: int | None,
 ) -> tuple[int, Any]:
     """Blocking queue read that survives a worker dying without a sentinel."""
     while True:
@@ -148,9 +185,12 @@ def _next_item(
                 return results.get_nowait()
             except queue_module.Empty:
                 raise ParallelGenerationError(
-                    f"worker for shard {shard.index} [{shard.start}, {shard.end}) "
-                    f"of relation {table!r} exited with code {process.exitcode} "
-                    "without completing its stream"
+                    f"worker lane {shard.worker} for shard {shard.index} "
+                    f"[{shard.start}, {shard.end}) of relation {table!r} exited "
+                    f"with code {process.exitcode} without completing its stream "
+                    f"(last completed chunk: {last_completed_chunk})",
+                    lane=shard.worker,
+                    last_completed_chunk=last_completed_chunk,
                 ) from None
 
 
@@ -187,6 +227,7 @@ def iter_parallel_blocks(
             )
         return
 
+    session = active_session()
     context = mp.get_context(mp_context or _preferred_context())
     payload = pickle.dumps(
         (
@@ -196,6 +237,7 @@ def iter_parallel_blocks(
             skip_box,
             list(columns) if columns is not None else None,
             plan.batch_size,
+            session is not None,
         ),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
@@ -205,32 +247,75 @@ def iter_parallel_blocks(
     processes = {
         lane: context.Process(
             target=_lane_worker,
-            args=(payload, windows[lane], queues[lane]),
+            args=(payload, lane, windows[lane], queues[lane]),
             daemon=True,
             name=f"repro-shard-{plan.table}-{lane}",
         )
         for lane in active_lanes
     }
+    # Parent-side per-lane accounting: the global index of the last chunk each
+    # lane fully streamed back.  Feeds ParallelGenerationError on failure.
+    last_completed: dict[int, int | None] = {lane: None for lane in active_lanes}
+    if session is not None:
+        pool_span = session.tracer.span(
+            "pool.generate", table=plan.table, workers=len(active_lanes)
+        )
+    else:
+        pool_span = None
     for process in processes.values():
         process.start()
     try:
-        for shard in plan.non_empty_shards():
-            results = queues[shard.worker]
-            process = processes[shard.worker]
-            while True:
-                kind, data = _next_item(results, process, shard, plan.table)
-                if kind == _CHUNK_END:
-                    break
-                if kind == _ERROR:
-                    name, message, remote_traceback = data
-                    raise ParallelGenerationError(
-                        f"worker for shard {shard.index} of relation "
-                        f"{plan.table!r} raised {name}: {message}\n"
-                        f"--- remote traceback ---\n{remote_traceback}"
+        with pool_span if pool_span is not None else _NULL_CONTEXT as span_record:
+            # Worker buffers carry times relative to the worker's own epoch
+            # (its process start); anchoring them at the parent-side span
+            # start keeps the merge causally ordered, with residual clock
+            # skew documented rather than corrected.
+            merge_parent: int | None = None
+            merge_offset = 0.0
+            if session is not None and span_record is not None:
+                merge_parent = span_record.span_id
+                merge_offset = span_record.start
+            for shard in plan.non_empty_shards():
+                results = queues[shard.worker]
+                process = processes[shard.worker]
+                if session is not None:
+                    try:
+                        depth = results.qsize()
+                    except NotImplementedError:  # qsize is unavailable on macOS
+                        depth = -1
+                    session.metrics.set_gauge(
+                        f"pool.lane.{shard.worker}.queue_depth", float(depth)
                     )
-                yield data
-        for process in processes.values():
-            process.join()
+                while True:
+                    kind, data = _next_item(
+                        results, process, shard, plan.table, last_completed[shard.worker]
+                    )
+                    if kind == _CHUNK_END:
+                        last_completed[shard.worker] = shard.index
+                        break
+                    if kind == _TELEMETRY:
+                        if session is not None:
+                            _lane, span_buffer, metrics_delta = data
+                            session.tracer.merge_remote(
+                                span_buffer,
+                                parent_id=merge_parent,
+                                time_offset=merge_offset,
+                            )
+                            session.metrics.merge(metrics_delta)
+                        continue
+                    if kind == _ERROR:
+                        name, message, remote_traceback = data
+                        raise ParallelGenerationError(
+                            f"worker lane {shard.worker} for shard {shard.index} of "
+                            f"relation {plan.table!r} raised {name}: {message}\n"
+                            f"(last completed chunk: {last_completed[shard.worker]})\n"
+                            f"--- remote traceback ---\n{remote_traceback}",
+                            lane=shard.worker,
+                            last_completed_chunk=last_completed[shard.worker],
+                        )
+                    yield data
+            for process in processes.values():
+                process.join()
     finally:
         for process in processes.values():
             if process.is_alive():

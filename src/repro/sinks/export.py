@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import csv
 import sqlite3
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
@@ -30,6 +31,7 @@ from ..core.errors import HydraError
 from ..core.pipeline import summary_relation_providers
 from ..core.summary import DatabaseSummary
 from ..executor.rate import RateLimiter
+from ..telemetry.session import add_counter, set_gauge, span
 from .base import Sink, encode_external
 from .csv_sink import CsvSink
 from .manifest import ColumnHasher, Manifest, combine_checksums
@@ -106,21 +108,38 @@ def export_summary(
             )
     else:
         selected = None
+    sink_kind = type(sink).__name__
     try:
-        for table_name, relation in summary_relation_providers(
-            summary,
-            rate_limiter=rate_limiter,
-            batch_size=batch_size,
-            shared_rate_limiter=shared_rate_limiter,
-            workers=workers,
-            min_parallel_rows=min_parallel_rows,
-            relations=selected,
-        ):
-            sink.open_relation(summary.schema.table(table_name))
-            for _start, _count, block in relation.iter_blocks():
-                sink.write_block(block)
-            sink.close_relation()
-        return sink.finalize(summary)
+        with span("export.summary", sink=sink_kind):
+            for table_name, relation in summary_relation_providers(
+                summary,
+                rate_limiter=rate_limiter,
+                batch_size=batch_size,
+                shared_rate_limiter=shared_rate_limiter,
+                workers=workers,
+                min_parallel_rows=min_parallel_rows,
+                relations=selected,
+            ):
+                with span("export.relation", relation=table_name) as relation_span:
+                    # Sanctioned wall-clock read (rows/s gauge): timings feed
+                    # telemetry only, never the manifest or its checksums —
+                    # see the HYD102 rule-paths note in pyproject.toml.
+                    started = time.perf_counter()
+                    rows = 0
+                    sink.open_relation(summary.schema.table(table_name))
+                    for _start, count, block in relation.iter_blocks():
+                        sink.write_block(block)
+                        rows += count
+                    sink.close_relation()
+                    elapsed = time.perf_counter() - started
+                    add_counter("export.rows_written", float(rows))
+                    if elapsed > 0.0:
+                        set_gauge(
+                            f"export.{table_name}.rows_per_second", rows / elapsed
+                        )
+                    relation_span.annotate(rows=rows)
+            manifest = sink.finalize(summary)
+        return manifest
     except BaseException:
         sink.abort()
         raise

@@ -1,0 +1,72 @@
+"""Opt-in per-stage wall-time and tracemalloc peak-memory capture.
+
+:func:`profile_stage` is the single entry point: pipeline stages wrap
+their work in ``with profile_stage("solve"):``.  It does nothing unless
+the active :class:`~repro.telemetry.session.TelemetrySession` was created
+with ``profile_enabled=True`` — tracemalloc costs real time and memory,
+so it is a second, explicit opt-in on top of telemetry itself.
+
+When enabled, each stage records:
+
+* ``profile.<stage>.seconds`` — a histogram of wall-time samples;
+* ``profile.<stage>.peak_bytes`` — a gauge holding the maximum
+  tracemalloc peak observed across invocations of the stage.
+
+Nesting is handled by only starting/stopping tracemalloc at the outermost
+profiled stage; inner stages reset and read the shared peak counter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import tracemalloc
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from .session import active_session
+
+__all__ = ["profile_stage"]
+
+
+class _ProfileDepth(threading.local):
+    """Per-thread nesting depth of active profiled stages."""
+
+    def __init__(self) -> None:
+        self.depth = 0
+
+
+_DEPTH = _ProfileDepth()
+
+
+@contextmanager
+def profile_stage(stage: str) -> Iterator[None]:
+    """Record wall-time and peak memory for ``stage`` when profiling is on.
+
+    A no-op (one global read, one branch) unless a telemetry session is
+    active *and* it was created with ``profile_enabled=True``.
+    """
+    session = active_session()
+    if session is None or not session.profile_enabled:
+        yield
+        return
+
+    started_here = False
+    if _DEPTH.depth == 0 and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started_here = True
+    _DEPTH.depth += 1
+    if tracemalloc.is_tracing():
+        tracemalloc.reset_peak()
+    wall_start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - wall_start
+        session.metrics.observe(f"profile.{stage}.seconds", elapsed)
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            session.metrics.max_gauge(f"profile.{stage}.peak_bytes", float(peak))
+        _DEPTH.depth -= 1
+        if started_here:
+            tracemalloc.stop()
