@@ -52,6 +52,29 @@ from .executor import (
 )
 from .parallel import Shard, ShardPlan, default_workers
 from .plans import AnnotatedQueryPlan, build_plan
+from .server import (
+    BackgroundServer,
+    ErrorBody,
+    EvictResponse,
+    ExportRequest,
+    ExportResponse,
+    HydraServer,
+    LoadSummaryRequest,
+    ProgressEvent,
+    QueryRequest,
+    QueryResponse,
+    RegenerateRequest,
+    RouteEventBody,
+    ServerClient,
+    ServerClientError,
+    ServerInfo,
+    SummaryCache,
+    SummaryInfo,
+    SummaryListResponse,
+    SummaryService,
+    VerifyRequest,
+    VerifyResponse,
+)
 from .sinks import (
     CsvSink,
     Manifest,
@@ -60,6 +83,7 @@ from .sinks import (
     SqliteSink,
     export_summary,
     sink_for_format,
+    validate_export_against,
     verify_export,
 )
 from .sql import Query, parse_query
@@ -82,31 +106,50 @@ __all__ = [
     "AQPExtractor",
     "AnnotatedQueryPlan",
     "Anonymizer",
+    "BackgroundServer",
     "Column",
     "CsvSink",
     "DataGenRelation",
     "Database",
     "DatabaseMetadata",
     "DatabaseSummary",
+    "ErrorBody",
+    "EvictResponse",
     "ExecutionEngine",
+    "ExportRequest",
+    "ExportResponse",
     "ForeignKey",
     "Hydra",
     "HydraBuildResult",
+    "HydraServer",
     "InfeasibleConstraintsError",
     "InformationPackage",
+    "LoadSummaryRequest",
     "Manifest",
     "ParallelDataGenRelation",
     "ParquetSink",
+    "ProgressEvent",
     "QualityReport",
     "Query",
+    "QueryRequest",
+    "QueryResponse",
     "RateLimiter",
+    "RegenerateRequest",
+    "RouteEventBody",
     "Scenario",
     "Schema",
+    "ServerClient",
+    "ServerClientError",
+    "ServerInfo",
     "Shard",
     "ShardPlan",
     "Sink",
     "SqliteSink",
     "SummaryBuildReport",
+    "SummaryCache",
+    "SummaryInfo",
+    "SummaryListResponse",
+    "SummaryService",
     "TPCDSConfig",
     "TPCHConfig",
     "Table",
@@ -114,6 +157,8 @@ __all__ = [
     "ToyConfig",
     "TupleGenerator",
     "VerificationResult",
+    "VerifyRequest",
+    "VerifyResponse",
     "VirtualClock",
     "VolumetricComparator",
     "WorkloadConfig",
@@ -131,6 +176,7 @@ __all__ = [
     "grid_variable_count",
     "parse_query",
     "sink_for_format",
+    "validate_export_against",
     "verify_export",
     "__version__",
 ]

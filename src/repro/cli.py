@@ -1,31 +1,41 @@
 """Command-line interface of the HYDRA reproduction.
 
-Four entry points mirror the demo's flow:
+One console script, ``hydra``, fronts every tool as a subcommand:
 
-* ``hydra-generate`` — create a synthetic client environment (database +
+* ``hydra generate`` — create a synthetic client environment (database +
   workload) and write the client-site information package to a JSON file;
-* ``hydra-client`` — the client step on its own: given a built-in dataset
+* ``hydra client`` — the client step on its own: given a built-in dataset
   name, profile metadata, extract AQPs and (optionally) anonymise;
-* ``hydra-vendor`` — the vendor step: read an information package, build the
+* ``hydra vendor`` — the vendor step: read an information package, build the
   regeneration summary, print the build report and save the summary.  With
   ``--materialize`` plus ``--format {csv,sqlite,parquet} --out DIR`` the
   regenerated relations are additionally *exported* through a streaming
   sink (``repro.sinks``) into a directory any database client can open;
-* ``hydra-verify`` — regenerate a database from a summary and verify
+* ``hydra verify`` — regenerate a database from a summary and verify
   volumetric similarity against the package's AQPs, or — with ``--against
   EXPORT_DIR`` — validate a previously written export against its summary
-  from the export's ``MANIFEST.json`` without regenerating tuples.
+  from the export's ``MANIFEST.json`` without regenerating tuples;
+* ``hydra serve`` — run the concurrent summary server (``repro.server``):
+  load summaries once into a versioned cache and answer
+  query/verify/export/regenerate requests over HTTP/JSON;
+* ``hydra trace`` / ``hydra lint`` — the observability and AST-invariant
+  tools (also installed as ``hydra-trace`` / ``hydra-lint``).
+
+The historical per-tool scripts (``hydra-generate``, ``hydra-client``,
+``hydra-vendor``, ``hydra-verify``) remain as thin deprecated aliases that
+print a one-line notice to stderr and dispatch to the subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import os
 import sys
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from .client.anonymizer import Anonymizer
 from .client.extractor import AQPExtractor
@@ -41,7 +51,7 @@ from .sinks import (
     export_summary,
     parquet_available,
     sink_for_format,
-    verify_export,
+    validate_export_against,
 )
 from .telemetry.session import telemetry_session
 from .verify.comparator import VolumetricComparator
@@ -56,7 +66,15 @@ from .workload.toy import ToyConfig, generate_toy_database
 from .workload.tpcds import TPCDSConfig, generate_tpcds_database
 from .workload.tpch import TPCHConfig, generate_tpch_database
 
-__all__ = ["client_main", "vendor_main", "verify_main", "generate_main"]
+__all__ = [
+    "SUBCOMMANDS",
+    "client_main",
+    "generate_main",
+    "main",
+    "resolve_subcommand",
+    "vendor_main",
+    "verify_main",
+]
 
 
 def _build_database(dataset: str, scale: float, seed: int) -> Database:
@@ -463,16 +481,10 @@ def _verify_run(args: argparse.Namespace) -> int:
     summary = DatabaseSummary.load(args.summary)
 
     if args.against is not None:
-        package_tables = sorted(package.metadata.schema.table_names)
-        summary_tables = sorted(summary.schema.table_names)
-        if package_tables != summary_tables:
-            raise SystemExit(
-                f"summary describes relations {', '.join(summary_tables)} but "
-                f"the package describes {', '.join(package_tables)}; they do "
-                "not belong to the same client database"
-            )
         try:
-            validation = verify_export(summary, args.against)
+            validation = validate_export_against(
+                summary, args.against, package.metadata.schema
+            )
         except HydraError as exc:
             raise SystemExit(str(exc))
         print(validation.describe())
@@ -504,19 +516,76 @@ def _verify_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover - thin dispatcher
-    """Single-binary dispatcher (``python -m repro.cli <command> ...``)."""
-    parser = argparse.ArgumentParser(prog="hydra", description=__doc__)
-    parser.add_argument("command", choices=["generate", "client", "vendor", "verify"])
+#: The ``hydra`` subcommand table: name -> (module, entry-point attribute).
+#: Modules are imported lazily so ``hydra generate`` never pays for the
+#: server or lint stacks; the unit tests assert this table and the argparse
+#: choices stay in sync, so a new subcommand cannot be forgotten here.
+SUBCOMMANDS: dict[str, tuple[str, str]] = {
+    "generate": ("repro.cli", "generate_main"),
+    "client": ("repro.cli", "client_main"),
+    "vendor": ("repro.cli", "vendor_main"),
+    "verify": ("repro.cli", "verify_main"),
+    "serve": ("repro.server.cli", "serve_main"),
+    "trace": ("repro.telemetry.trace_cli", "main"),
+    "lint": ("repro.lint.cli", "main"),
+}
+
+
+def resolve_subcommand(command: str) -> Callable[[Sequence[str] | None], int]:
+    """Import and return the entry point behind one ``hydra`` subcommand."""
+    module_name, attribute = SUBCOMMANDS[command]
+    module = importlib.import_module(module_name)
+    entry: Callable[[Sequence[str] | None], int] = getattr(module, attribute)
+    return entry
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """The unified ``hydra`` dispatcher (``hydra <command> ...``).
+
+    One console script fronts every tool: ``hydra
+    generate|client|vendor|verify|serve|trace|lint``.  The historical
+    ``hydra-<command>`` scripts remain as thin deprecated aliases of the
+    first four; ``hydra-trace`` and ``hydra-lint`` stay first-class spellings
+    of ``hydra trace`` / ``hydra lint``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="hydra",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("command", choices=sorted(SUBCOMMANDS))
     parser.add_argument("rest", nargs=argparse.REMAINDER)
     args = parser.parse_args(argv)
-    dispatch = {
-        "generate": generate_main,
-        "client": client_main,
-        "vendor": vendor_main,
-        "verify": verify_main,
-    }
-    return dispatch[args.command](args.rest)
+    return resolve_subcommand(args.command)(args.rest)
+
+
+def _legacy_main(tool: str, command: str, argv: Sequence[str] | None) -> int:
+    """Run a legacy ``hydra-*`` alias with a one-line deprecation notice."""
+    print(
+        f"{tool} is deprecated; use `hydra {command}` instead",
+        file=sys.stderr,
+    )
+    return resolve_subcommand(command)(argv)
+
+
+def generate_legacy(argv: Sequence[str] | None = None) -> int:
+    """Deprecated ``hydra-generate`` alias of ``hydra generate``."""
+    return _legacy_main("hydra-generate", "generate", argv)
+
+
+def client_legacy(argv: Sequence[str] | None = None) -> int:
+    """Deprecated ``hydra-client`` alias of ``hydra client``."""
+    return _legacy_main("hydra-client", "client", argv)
+
+
+def vendor_legacy(argv: Sequence[str] | None = None) -> int:
+    """Deprecated ``hydra-vendor`` alias of ``hydra vendor``."""
+    return _legacy_main("hydra-vendor", "vendor", argv)
+
+
+def verify_legacy(argv: Sequence[str] | None = None) -> int:
+    """Deprecated ``hydra-verify`` alias of ``hydra verify``."""
+    return _legacy_main("hydra-verify", "verify", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

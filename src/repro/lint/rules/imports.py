@@ -92,6 +92,33 @@ DEFAULT_LAYERING: tuple[LayerEdge, ...] = (
         to_package="repro.parallel",
         allowed_files=("src/repro/core/pipeline.py",),
     ),
+    # repro.server is the top of the stack: nothing below it may import it,
+    # through no seam at all.
+    LayerEdge(
+        from_package="repro.core",
+        to_package="repro.server",
+        allowed_files=(),
+    ),
+    LayerEdge(
+        from_package="repro.executor",
+        to_package="repro.server",
+        allowed_files=(),
+    ),
+    LayerEdge(
+        from_package="repro.parallel",
+        to_package="repro.server",
+        allowed_files=(),
+    ),
+    LayerEdge(
+        from_package="repro.sinks",
+        to_package="repro.server",
+        allowed_files=(),
+    ),
+    LayerEdge(
+        from_package="repro.telemetry",
+        to_package="repro.server",
+        allowed_files=(),
+    ),
 )
 
 

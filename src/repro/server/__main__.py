@@ -1,0 +1,10 @@
+"""``python -m repro.server`` — alias of ``hydra serve``."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import serve_main
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

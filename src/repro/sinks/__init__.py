@@ -28,6 +28,7 @@ from .export import (
     ExportValidation,
     export_summary,
     sink_for_format,
+    validate_export_against,
     verify_export,
 )
 from .manifest import MANIFEST_NAME, ColumnHasher, Manifest, RelationManifest
@@ -48,5 +49,6 @@ __all__ = [
     "ExportValidation",
     "export_summary",
     "sink_for_format",
+    "validate_export_against",
     "verify_export",
 ]

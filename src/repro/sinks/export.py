@@ -26,7 +26,7 @@ from typing import Any, Iterable, Iterator, Sequence
 import numpy as np
 from numpy.typing import NDArray
 
-from ..catalog.schema import Table
+from ..catalog.schema import Schema, Table
 from ..core.errors import HydraError
 from ..core.pipeline import summary_relation_providers
 from ..core.summary import DatabaseSummary
@@ -42,6 +42,7 @@ __all__ = [
     "EXPORT_FORMATS",
     "sink_for_format",
     "export_summary",
+    "validate_export_against",
     "verify_export",
     "ExportValidation",
 ]
@@ -267,6 +268,33 @@ def verify_export(
             ):
                 validation.problems.append(f"{name}: relation checksum mismatch")
     return validation
+
+
+def validate_export_against(
+    summary: DatabaseSummary,
+    export_dir: str | Path,
+    client_schema: Schema,
+    batch_size: int = 8192,
+) -> ExportValidation:
+    """Validate an export for a client: schema membership + :func:`verify_export`.
+
+    This is the one shared implementation behind ``hydra-verify --against``
+    and the server's verify endpoint.  It first proves the client package
+    and the summary describe the same database (identical relation-name
+    sets — an export of a *different* client's summary must fail loudly,
+    not with a confusing fingerprint mismatch), then runs the full manifest
+    and content-checksum validation.  Raises
+    :class:`~repro.core.errors.HydraError` on the membership mismatch.
+    """
+    client_tables = sorted(client_schema.table_names)
+    summary_tables = sorted(summary.schema.table_names)
+    if client_tables != summary_tables:
+        raise HydraError(
+            f"summary describes relations {', '.join(summary_tables)} but "
+            f"the package describes {', '.join(client_tables)}; they do "
+            "not belong to the same client database"
+        )
+    return verify_export(summary, export_dir, batch_size=batch_size)
 
 
 def _encode_block(table: Table, rows: Iterable[Sequence[Any]]) -> dict[str, NDArray[Any]]:

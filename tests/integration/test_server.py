@@ -1,0 +1,304 @@
+"""Integration tests for the regeneration server (repro.server).
+
+Covers the ISSUE's acceptance behaviours end to end over real sockets:
+
+* >= 8 simultaneous clients receive results bit-identical to a direct
+  serial engine run over the same summary;
+* a version swap under load completes every in-flight request on the old
+  version with zero failures;
+* the NDJSON regeneration stream accounts for every regenerable row;
+* per-tenant admission control surfaces as 429 + Retry-After;
+* verification and export endpoints share the CLI's validation helper.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.client.package import InformationPackage
+from repro.core.pipeline import Hydra
+from repro.executor.engine import ExecutionEngine
+from repro.executor.rate import VirtualClock
+from repro.plans.planner import build_plan
+from repro.server import (
+    BackgroundServer,
+    LoadSummaryRequest,
+    QueryRequest,
+    ServerClient,
+    ServerClientError,
+    ServiceError,
+    SummaryService,
+)
+from repro.server.service import external_result_columns
+from repro.sql.parser import parse_query
+from repro.workload.toy import ToyConfig, generate_toy_database
+
+QUERIES = [
+    "select count(*) from S",
+    "select * from S where S.A >= 10 and S.A < 30",
+    "select count(*) from R, S where R.S_fk = S.S_pk and S.B < 25",
+    "select sum(S.B) from S where S.A >= 20 and S.A < 60",
+]
+
+
+@pytest.fixture(scope="module")
+def toy_summary(toy_metadata, toy_aqps):
+    """The toy workload's summary, built once for the whole module."""
+    return Hydra(metadata=toy_metadata).build_summary(toy_aqps).summary
+
+
+@pytest.fixture(scope="module")
+def other_summary(toy_aqps):
+    """A second, different-content summary over the same schema (for swaps)."""
+    database = generate_toy_database(
+        ToyConfig(r_rows=2_000, s_rows=200, t_rows=20, seed=9)
+    )
+    from repro.catalog.metadata import collect_metadata
+    from repro.client.extractor import AQPExtractor
+
+    metadata = collect_metadata(database)
+    extractor = AQPExtractor(database=database)
+    aqps = extractor.extract_workload(
+        [aqp.query for aqp in toy_aqps if aqp.query is not None]
+    )
+    return Hydra(metadata=metadata).build_summary(aqps).summary
+
+
+@pytest.fixture(scope="module")
+def server(toy_summary):
+    """One background server with the toy summary pre-loaded as 'toy'."""
+    service = SummaryService()
+    service.load(LoadSummaryRequest(name="toy", summary=toy_summary.to_dict()))
+    with BackgroundServer(service) as background:
+        yield background
+
+
+def _direct_responses(metadata, summary):
+    """Serial direct-engine execution of QUERIES: the bit-identity baseline."""
+    database = Hydra(metadata=metadata).regenerate(summary)
+    engine = ExecutionEngine(
+        database=database,
+        annotate=True,
+        pushdown=True,
+        summary_fastpath=True,
+        streaming_join=True,
+    )
+    expected = {}
+    for sql in QUERIES:
+        plan = build_plan(parse_query(sql, database.schema), database.schema)
+        result = engine.execute(plan)
+        expected[sql] = (
+            external_result_columns(database, result.columns),
+            result.row_count,
+        )
+    return expected
+
+
+class TestConcurrentClients:
+    def test_eight_clients_bit_identical_to_direct_run(
+        self, server, toy_metadata, toy_summary
+    ):
+        expected = _direct_responses(toy_metadata, toy_summary)
+        fingerprint = toy_summary.fingerprint()
+
+        def worker(index: int) -> None:
+            client = ServerClient("127.0.0.1", server.port, tenant=f"t{index}")
+            for _round in range(3):
+                for sql in QUERIES:
+                    response = client.query("toy", sql)
+                    columns, row_count = expected[sql]
+                    assert response.columns == columns, sql
+                    assert response.row_count == row_count, sql
+                    assert response.fingerprint == fingerprint
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(worker, index) for index in range(8)]
+            for future in futures:
+                future.result()
+
+    def test_routes_and_annotations_surface(self, server):
+        client = ServerClient("127.0.0.1", server.port)
+        response = client.query("toy", "select count(*) from S")
+        assert response.aggregate_route == "summary"
+        assert response.scanned_rows == 0
+        assert any(event.route == "summary" for event in response.route_events)
+        assert response.annotations, "plan annotations must ride the response"
+        assert all(
+            annotation["cardinality"] >= 0 for annotation in response.annotations
+        )
+
+
+class TestVersionSwap:
+    def test_inflight_lease_survives_swap(self, toy_summary, other_summary):
+        """A held lease keeps serving the old version through load+evict."""
+        service = SummaryService()
+        first = service.load(
+            LoadSummaryRequest(name="swap", summary=toy_summary.to_dict())
+        )
+        assert first.generation == 1
+        with service.cache.lease("swap") as old_entry:
+            swapped = service.load(
+                LoadSummaryRequest(name="swap", summary=other_summary.to_dict())
+            )
+            assert swapped.generation == 2
+            assert swapped.fingerprint != first.fingerprint
+            # The leased entry still answers with the *old* content.
+            assert old_entry.retired
+            assert old_entry.fingerprint == first.fingerprint
+            assert old_entry.summary.total_rows() == toy_summary.total_rows()
+            assert service.cache.retired_count == 1
+        assert service.cache.retired_count == 0
+
+    def test_swap_under_load_zero_failed_requests(
+        self, toy_summary, other_summary, toy_metadata
+    ):
+        """8 clients hammer queries while the server swaps versions: no failures."""
+        service = SummaryService()
+        service.load(LoadSummaryRequest(name="swap", summary=toy_summary.to_dict()))
+        sql = "select count(*) from S"
+        expected_by_fingerprint = {
+            toy_summary.fingerprint(): toy_summary.row_count("S"),
+            other_summary.fingerprint(): other_summary.row_count("S"),
+        }
+        failures: list[BaseException] = []
+        results: list[tuple[str, int]] = []
+        stop = threading.Event()
+
+        with BackgroundServer(service) as background:
+
+            def worker(index: int) -> None:
+                client = ServerClient("127.0.0.1", background.port, tenant=f"w{index}")
+                while not stop.is_set():
+                    try:
+                        response = client.query("swap", sql)
+                    except BaseException as exc:  # noqa: BLE001 - recorded and failed below
+                        failures.append(exc)
+                        return
+                    results.append(
+                        (response.fingerprint, response.columns["count"][0])
+                    )
+
+            threads = [
+                threading.Thread(target=worker, args=(index,)) for index in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            swaps = [other_summary, toy_summary, other_summary]
+            loader = ServerClient("127.0.0.1", background.port, tenant="loader")
+            generations = []
+            for summary in swaps:
+                generations.append(
+                    loader.load_summary("swap", summary=summary.to_dict()).generation
+                )
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+
+        assert not failures, failures
+        assert generations == [2, 3, 4]
+        assert results, "workers must have completed requests"
+        for fingerprint, count in results:
+            assert count == expected_by_fingerprint[fingerprint]
+        assert service.cache.retired_count == 0
+
+
+class TestStreamingRegeneration:
+    def test_stream_accounts_for_every_row(self, server, toy_summary):
+        client = ServerClient("127.0.0.1", server.port)
+        events = list(client.regenerate("toy", batch_size=256))
+        assert events[0].event == "start"
+        assert events[0].total_rows == toy_summary.total_rows()
+        assert events[-1].event == "done"
+        assert events[-1].rows == toy_summary.total_rows()
+        per_relation = [e for e in events if e.event == "relation_done"]
+        assert {e.relation for e in per_relation} == set(toy_summary.relations)
+        for event in per_relation:
+            assert event.rows == toy_summary.row_count(event.relation)
+
+    def test_unknown_relation_is_a_clean_400(self, server):
+        client = ServerClient("127.0.0.1", server.port)
+        with pytest.raises(ServerClientError) as excinfo:
+            list(client.regenerate("toy", relations=["nope"]))
+        assert excinfo.value.status == 400
+        assert "nope" in str(excinfo.value)
+
+
+class TestErrorsAndAdmission:
+    def test_unknown_summary_is_404(self, server):
+        client = ServerClient("127.0.0.1", server.port)
+        with pytest.raises(ServerClientError) as excinfo:
+            client.query("ghost", "select count(*) from S")
+        assert excinfo.value.status == 404
+
+    def test_bad_sql_is_400(self, server):
+        client = ServerClient("127.0.0.1", server.port)
+        with pytest.raises(ServerClientError) as excinfo:
+            client.query("toy", "select count(*) from NOPE")
+        assert excinfo.value.status == 400
+
+    def test_admission_control_deterministic(self):
+        """Token accounting over a virtual clock: burst of one, then 429."""
+        clock = VirtualClock()
+        service = SummaryService(requests_per_second=2.0, clock=clock.now)
+        service.admit("tenant-a")  # burst allowance
+        with pytest.raises(ServiceError) as excinfo:
+            service.admit("tenant-a")
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after is not None
+        assert excinfo.value.retry_after > 0
+        # Other tenants have their own budget.
+        service.admit("tenant-b")
+        # After the interval has elapsed the tenant is admitted again.
+        clock.advance(10.0)
+        service.admit("tenant-a")
+
+    def test_rate_limit_surfaces_as_429_over_http(self, toy_summary):
+        service = SummaryService(requests_per_second=0.001)
+        service.load(LoadSummaryRequest(name="toy", summary=toy_summary.to_dict()))
+        with BackgroundServer(service) as background:
+            client = ServerClient("127.0.0.1", background.port, tenant="greedy")
+            client.server_info()  # burst allowance
+            with pytest.raises(ServerClientError) as excinfo:
+                client.server_info()
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+
+
+class TestVerifyAndExport:
+    def test_volumetric_verify_and_export_validation(
+        self, server, toy_metadata, toy_aqps, tmp_path
+    ):
+        client = ServerClient("127.0.0.1", server.port)
+        package = InformationPackage(metadata=toy_metadata, aqps=list(toy_aqps))
+        package_path = tmp_path / "package.json"
+        package.save(package_path)
+
+        volumetric = client.verify("toy", package_path=str(package_path))
+        assert volumetric.mode == "volumetric"
+        assert volumetric.ok
+        assert volumetric.total_edges > 0
+        assert volumetric.error_cdf
+
+        out_dir = tmp_path / "export"
+        export = client.export("toy", format="csv", out_dir=str(out_dir))
+        assert export.total_rows > 0
+        assert sorted(export.relations) == sorted(toy_metadata.schema.table_names)
+        assert (out_dir / "MANIFEST.json").exists()
+
+        against = client.verify(
+            "toy", package_path=str(package_path), against_dir=str(out_dir)
+        )
+        assert against.mode == "export"
+        assert against.ok
+        assert against.rows_checked == export.total_rows
+        assert not against.problems
+
+
+class TestRequestValidation:
+    def test_query_request_defaults_round_trip(self):
+        request = QueryRequest.from_dict({"sql": "select count(*) from S"})
+        assert request.pushdown and request.summary_fastpath and request.streaming_join
+        assert request.rows_per_second is None

@@ -348,3 +348,75 @@ class TestVendorExport:
                     "--sample", "S",
                 ]
             )
+
+
+class TestUnifiedCli:
+    """The `hydra` dispatcher and the deprecated `hydra-*` aliases."""
+
+    def test_dispatch_table_covers_every_tool(self):
+        import repro.cli as cli
+
+        assert set(cli.SUBCOMMANDS) == {
+            "generate", "client", "vendor", "verify", "serve", "trace", "lint",
+        }
+
+    def test_every_subcommand_resolves_to_a_callable(self):
+        import repro.cli as cli
+
+        for command in cli.SUBCOMMANDS:
+            entry = cli.resolve_subcommand(command)
+            assert callable(entry), command
+
+    def test_dispatch_forwards_remaining_argv(self, tmp_path):
+        import repro.cli as cli
+
+        path = tmp_path / "package.json"
+        code = cli.main(
+            ["generate", "--dataset", "toy", "--queries", "2", "--output", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+
+    def test_unknown_command_rejected(self):
+        import repro.cli as cli
+
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])
+
+    def test_serve_help_exits_zero(self, capsys):
+        import repro.cli as cli
+
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "--load" in capsys.readouterr().out
+
+    def test_legacy_aliases_warn_and_dispatch(self, tmp_path, capsys):
+        import repro.cli as cli
+
+        path = tmp_path / "legacy.json"
+        code = cli.generate_legacy(
+            ["--dataset", "toy", "--queries", "2", "--output", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        captured = capsys.readouterr()
+        assert "hydra-generate is deprecated" in captured.err
+        assert "hydra generate" in captured.err
+
+    @pytest.mark.parametrize(
+        ("alias", "command"),
+        [
+            ("generate_legacy", "generate"),
+            ("client_legacy", "client"),
+            ("vendor_legacy", "vendor"),
+            ("verify_legacy", "verify"),
+        ],
+    )
+    def test_all_legacy_aliases_name_their_replacement(self, alias, command, capsys):
+        import repro.cli as cli
+
+        with pytest.raises(SystemExit):
+            getattr(cli, alias)(["--help"])
+        captured = capsys.readouterr()
+        assert f"use `hydra {command}` instead" in captured.err

@@ -191,7 +191,20 @@ class TestConfig:
         config = load_config(root / "pyproject.toml")
         if HAS_TOMLLIB:
             assert "HYD102" in config.rule_paths
-            assert len(config.layering) == 2
+            # The parallel seams plus the five no-seam server edges; the
+            # pyproject table must mirror DEFAULT_LAYERING exactly.
+            from repro.lint.rules.imports import DEFAULT_LAYERING
+
+            assert len(config.layering) == len(DEFAULT_LAYERING)
+            configured = {
+                (edge.from_package, edge.to_package, tuple(edge.allowed_files))
+                for edge in config.layering
+            }
+            builtin = {
+                (edge.from_package, edge.to_package, tuple(edge.allowed_files))
+                for edge in DEFAULT_LAYERING
+            }
+            assert configured == builtin
         else:
             assert config.config_skipped
 
