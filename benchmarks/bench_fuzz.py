@@ -1,0 +1,47 @@
+"""Differential-fuzzing throughput (``repro.fuzz``).
+
+The fuzz harness is the repo's continuous correctness instrument, so its
+cost per seed bounds how much coverage a CI budget buys.  This benchmark
+runs a short all-route campaign and reports seeds/second and query
+checks/second; correctness is asserted alongside the timing — the campaign
+must come back without a single engine-vs-oracle disagreement, exercising
+every result route and at least one delta scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from reporting import record
+
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.fuzz.harness import ROUTES
+
+_TINY = os.environ.get("REPRO_BENCH_TINY", "").lower() in ("1", "true", "yes")
+
+#: Seeds per campaign: enough for stable rates, tiny-shrunk for CI smoke.
+SEED_COUNT = 4 if _TINY else 12
+
+
+def test_fuzz_campaign_throughput():
+    config = FuzzConfig(seed_count=SEED_COUNT, delta_every=2, minimize=False)
+    start = time.perf_counter()
+    report = run_fuzz(config)
+    elapsed = time.perf_counter() - start
+
+    assert report.ok, "\n".join(d.describe() for d in report.disagreements)
+    assert report.delta_scenarios >= 1
+    for route in ROUTES:
+        assert report.route_counts.get(route, 0) > 0, route
+
+    seeds_per_second = len(report.seeds) / elapsed
+    checks_per_second = report.queries_checked / elapsed
+    print(
+        f"  fuzz: {len(report.seeds)} seeds, {report.queries_checked} checks "
+        f"in {elapsed:.2f}s ({seeds_per_second:.2f} seeds/s, "
+        f"{checks_per_second:.1f} checks/s)"
+    )
+    record("E17", "fuzz_seeds_per_second", seeds_per_second)
+    record("E17", "fuzz_query_checks_per_second", checks_per_second)
+    record("E17", "fuzz_queries_checked", float(report.queries_checked))

@@ -50,6 +50,7 @@ from .executor import (
     RateLimiter,
     VirtualClock,
 )
+from .fuzz import FuzzConfig, FuzzReport, SqliteOracle, run_fuzz
 from .parallel import Shard, ShardPlan, default_workers
 from .plans import AnnotatedQueryPlan, build_plan
 from .server import (
@@ -90,6 +91,8 @@ from .sql import Query, parse_query
 from .storage import Database, TableData
 from .verify import QualityReport, VerificationResult, VolumetricComparator
 from .workload import (
+    SynthConfig,
+    SynthScenario,
     TPCDSConfig,
     TPCHConfig,
     ToyConfig,
@@ -98,6 +101,7 @@ from .workload import (
     generate_tpcds_database,
     generate_tpch_database,
     generate_workload,
+    synthesize_scenario,
 )
 
 __version__ = "1.0.0"
@@ -119,6 +123,8 @@ __all__ = [
     "ExportRequest",
     "ExportResponse",
     "ForeignKey",
+    "FuzzConfig",
+    "FuzzReport",
     "Hydra",
     "HydraBuildResult",
     "HydraServer",
@@ -144,12 +150,15 @@ __all__ = [
     "Shard",
     "ShardPlan",
     "Sink",
+    "SqliteOracle",
     "SqliteSink",
     "SummaryBuildReport",
     "SummaryCache",
     "SummaryInfo",
     "SummaryListResponse",
     "SummaryService",
+    "SynthConfig",
+    "SynthScenario",
     "TPCDSConfig",
     "TPCHConfig",
     "Table",
@@ -175,7 +184,9 @@ __all__ = [
     "generate_workload",
     "grid_variable_count",
     "parse_query",
+    "run_fuzz",
     "sink_for_format",
+    "synthesize_scenario",
     "validate_export_against",
     "verify_export",
     "__version__",

@@ -19,7 +19,11 @@ One console script, ``hydra``, fronts every tool as a subcommand:
   load summaries once into a versioned cache and answer
   query/verify/export/regenerate requests over HTTP/JSON;
 * ``hydra trace`` / ``hydra lint`` — the observability and AST-invariant
-  tools (also installed as ``hydra-trace`` / ``hydra-lint``).
+  tools (also installed as ``hydra-trace`` / ``hydra-lint``);
+* ``hydra fuzz`` — differential fuzzing (``repro.fuzz``): synthesize
+  randomized scenarios, round-trip them through the pipeline and check
+  every result route against a SQLite oracle, minimizing failures to a
+  replayable corpus.
 
 The historical per-tool scripts (``hydra-generate``, ``hydra-client``,
 ``hydra-vendor``, ``hydra-verify``) remain as thin deprecated aliases that
@@ -528,6 +532,7 @@ SUBCOMMANDS: dict[str, tuple[str, str]] = {
     "serve": ("repro.server.cli", "serve_main"),
     "trace": ("repro.telemetry.trace_cli", "main"),
     "lint": ("repro.lint.cli", "main"),
+    "fuzz": ("repro.fuzz.cli", "main"),
 }
 
 
@@ -543,7 +548,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """The unified ``hydra`` dispatcher (``hydra <command> ...``).
 
     One console script fronts every tool: ``hydra
-    generate|client|vendor|verify|serve|trace|lint``.  The historical
+    generate|client|vendor|verify|serve|trace|lint|fuzz``.  The historical
     ``hydra-<command>`` scripts remain as thin deprecated aliases of the
     first four; ``hydra-trace`` and ``hydra-lint`` stay first-class spellings
     of ``hydra trace`` / ``hydra lint``.

@@ -154,7 +154,15 @@ def _walk(
                 f"contain that table (query {aqp.name!r})"
             )
         table = schema.table(node.table)
-        box = node.predicate.to_box(_discrete_map(table))
+        try:
+            box = node.predicate.to_box(_discrete_map(table))
+        except ValueError as exc:
+            # Box normalisation rejects e.g. multi-column disjunctions with a
+            # plain ValueError; surface it under the documented contract.
+            raise DecompositionError(
+                f"filter on {node.table!r} cannot be normalised to a box "
+                f"(query {aqp.name!r}): {exc}"
+            ) from exc
         target = child.nodes[node.table]
         target.box = target.box.intersect(box)
         _emit(node, child, aqp, workload)

@@ -1,0 +1,6 @@
+"""``python -m repro.fuzz`` — the fuzz CLI without console-script install."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

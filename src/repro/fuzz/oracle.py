@@ -1,0 +1,81 @@
+"""The SQLite differential oracle.
+
+The oracle never sees the engine: it opens the SQLite file the PR 5 sink
+exported from a summary and answers SQL with stock ``sqlite3``.  Because the
+export decodes every value to its external form (dictionary strings decoded,
+dates as ISO text) and the dialect's literals are rendered the same way, the
+oracle and the engine evaluate identical predicates over identical tuples —
+so exact agreement (modulo float-summation order) is the contract, not an
+approximation.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sqlite3
+import tempfile
+from pathlib import Path
+from types import TracebackType
+from typing import Any
+
+from ..core.summary import DatabaseSummary
+from ..sinks import export_summary
+from ..sinks.sqlite_sink import SqliteSink
+
+__all__ = ["SqliteOracle"]
+
+
+class SqliteOracle:
+    """Answers workload SQL from a SQLite export of a summary."""
+
+    def __init__(self, database_path: str | Path) -> None:
+        """Open an existing export database read-style."""
+        self.database_path = Path(database_path)
+        self._connection = sqlite3.connect(str(self.database_path))
+
+    @classmethod
+    def from_summary(cls, summary: DatabaseSummary) -> "SqliteOracle":
+        """Export ``summary`` through the SQLite sink and open the result.
+
+        The export directory is a fresh temporary directory owned by the
+        oracle; :meth:`close` removes it.
+        """
+        out_dir = Path(tempfile.mkdtemp(prefix="hydra-fuzz-oracle-"))
+        export_summary(summary, SqliteSink(out_dir))
+        oracle = cls(SqliteSink.database_path(out_dir))
+        oracle._owned_dir = out_dir
+        return oracle
+
+    _owned_dir: Path | None = None
+
+    def scalar(self, sql: str) -> Any:
+        """Run ``sql`` and return the single cell of its single row."""
+        cursor = self._connection.execute(sql)
+        row = cursor.fetchone()
+        if row is None:  # pragma: no cover - aggregates always yield one row
+            return None
+        return row[0]
+
+    def rows(self, sql: str) -> list[tuple[Any, ...]]:
+        """Run ``sql`` and return every result row."""
+        return list(self._connection.execute(sql).fetchall())
+
+    def close(self) -> None:
+        """Close the connection and remove an owned export directory."""
+        self._connection.close()
+        if self._owned_dir is not None:
+            shutil.rmtree(self._owned_dir, ignore_errors=True)
+            self._owned_dir = None
+
+    def __enter__(self) -> "SqliteOracle":
+        """Support ``with SqliteOracle.from_summary(...) as oracle:``."""
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        """Always release the connection and the owned export directory."""
+        self.close()

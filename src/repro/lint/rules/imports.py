@@ -119,6 +119,28 @@ DEFAULT_LAYERING: tuple[LayerEdge, ...] = (
         to_package="repro.server",
         allowed_files=(),
     ),
+    # repro.fuzz is a test harness above even the server: production layers
+    # (and the server itself) must never import it, through no seam at all.
+    LayerEdge(
+        from_package="repro.core",
+        to_package="repro.fuzz",
+        allowed_files=(),
+    ),
+    LayerEdge(
+        from_package="repro.executor",
+        to_package="repro.fuzz",
+        allowed_files=(),
+    ),
+    LayerEdge(
+        from_package="repro.server",
+        to_package="repro.fuzz",
+        allowed_files=(),
+    ),
+    LayerEdge(
+        from_package="repro.workload",
+        to_package="repro.fuzz",
+        allowed_files=(),
+    ),
 )
 
 

@@ -8,12 +8,25 @@ from .generator import (
     queries_per_table,
     workload_signature,
 )
+from .synth import (
+    QuerySynthesizer,
+    SchemaSynthesizer,
+    SynthConfig,
+    SynthQuery,
+    SynthScenario,
+    synthesize_scenario,
+)
 from .toy import FIGURE1_QUERY, ToyConfig, generate_toy_database, toy_schema
 from .tpcds import TPCDSConfig, generate_tpcds_database, tpcds_schema
 from .tpch import TPCHConfig, generate_tpch_database, tpch_schema
 
 __all__ = [
     "FIGURE1_QUERY",
+    "QuerySynthesizer",
+    "SchemaSynthesizer",
+    "SynthConfig",
+    "SynthQuery",
+    "SynthScenario",
     "TPCDSConfig",
     "TPCHConfig",
     "ToyConfig",
@@ -25,6 +38,7 @@ __all__ = [
     "generate_tpch_database",
     "generate_workload",
     "queries_per_table",
+    "synthesize_scenario",
     "toy_schema",
     "tpcds_schema",
     "tpch_schema",

@@ -1,0 +1,61 @@
+"""Direct coverage of ``check_delta_feasibility`` over synthesized deltas.
+
+The fuzzer's delta phase exercises ``extend_summary`` end to end; these
+tests aim the feasibility *probe* at the same synthesized inputs — a
+consistent delta batch must probe feasible, and the identical batch with
+its annotations blown up by ``scale_workload`` (cardinalities far beyond
+the metadata row counts) must be flagged without touching the base build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.extractor import AQPExtractor
+from repro.core.pipeline import Hydra
+from repro.core.scenario import check_delta_feasibility, scale_workload
+from repro.fuzz.harness import package_aqps
+from repro.workload.synth import SynthConfig, synthesize_scenario
+
+
+@pytest.fixture(scope="module")
+def synth_build():
+    scenario = synthesize_scenario(SynthConfig(seed=3))
+    assert scenario.delta_batches and scenario.delta_batches[0]
+    extractor = AQPExtractor(database=scenario.database)
+    metadata = extractor.profile_metadata()
+    hydra = Hydra(metadata=metadata)
+    base_aqps = package_aqps(extractor, metadata, scenario.queries)
+    base = hydra.build_summary(base_aqps)
+    delta_aqps = package_aqps(extractor, metadata, scenario.delta_batches[0])
+    assert delta_aqps, "seed 3's first delta batch must stay packageable"
+    return hydra, base, delta_aqps
+
+
+def test_consistent_synth_delta_probes_feasible(synth_build):
+    hydra, base, delta_aqps = synth_build
+    report = check_delta_feasibility(hydra, base, delta_aqps)
+    assert report.feasible, report.issues
+    assert report.max_relative_error <= 0.01
+
+
+def test_scaled_up_delta_is_flagged_infeasible(synth_build):
+    hydra, base, delta_aqps = synth_build
+    # Scaling every annotation 40x demands 40x the tuples the metadata
+    # says each relation has — no exact solution can exist.
+    blown_up = scale_workload(delta_aqps, 40.0)
+    report = check_delta_feasibility(hydra, base, blown_up)
+    assert not report.feasible
+    assert report.issues
+    assert report.max_relative_error > 0.01
+
+
+def test_probe_leaves_the_base_summary_untouched(synth_build):
+    hydra, base, delta_aqps = synth_build
+    snapshot = {
+        name: relation.to_dict()
+        for name, relation in base.summary.relations.items()
+    }
+    check_delta_feasibility(hydra, base, scale_workload(delta_aqps, 40.0))
+    for name, payload in snapshot.items():
+        assert base.summary.relations[name].to_dict() == payload, name

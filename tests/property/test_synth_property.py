@@ -1,0 +1,88 @@
+"""Property-based tests of the workload synthesizer (hypothesis).
+
+The differential fuzzer is only as trustworthy as its input generator:
+scenarios must be perfectly seed-deterministic (or corpus replay is
+meaningless), every synthesized query must actually parse and plan against
+its schema, and the drawn sizes must respect the configured bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plans.planner import build_plan
+from repro.sql.parser import parse_query
+from repro.workload.synth import QUERY_KINDS, SynthConfig, synthesize_scenario
+
+#: Small scenarios keep each hypothesis example fast.
+SMALL = SynthConfig(
+    max_relations=4,
+    num_queries=6,
+    rows_by_tier=((80, 160), (20, 40), (5, 12)),
+    delta_batches=1,
+    delta_queries=2,
+)
+
+seeds = st.integers(min_value=0, max_value=2**20)
+topologies = st.sampled_from(("star", "chain", "snowflake", "mixed"))
+
+
+@given(seed=seeds, topology=topologies)
+@settings(max_examples=12, deadline=None)
+def test_synthesis_is_seed_deterministic(seed, topology):
+    config = replace(SMALL, seed=seed, topology=topology)
+    first = synthesize_scenario(config)
+    second = synthesize_scenario(config)
+    assert first.topology == second.topology
+    assert first.schema.table_names == second.schema.table_names
+    for name in first.schema.table_names:
+        left = first.database.table_data(name)
+        right = second.database.table_data(name)
+        assert left.row_count == right.row_count
+        for column in first.schema.table(name).column_names:
+            assert left.column(column).tolist() == right.column(column).tolist()
+    assert [q.sql for q in first.all_queries] == [q.sql for q in second.all_queries]
+    assert [q.oracle_sql for q in first.all_queries] == [
+        q.oracle_sql for q in second.all_queries
+    ]
+
+
+@given(seed=seeds, topology=topologies)
+@settings(max_examples=12, deadline=None)
+def test_every_query_parses_and_plans(seed, topology):
+    scenario = synthesize_scenario(replace(SMALL, seed=seed, topology=topology))
+    for synth_query in scenario.all_queries:
+        assert synth_query.kind in QUERY_KINDS
+        query = parse_query(synth_query.sql, scenario.schema, synth_query.name)
+        plan = build_plan(query, scenario.schema)
+        assert plan is not None
+
+
+@given(seed=seeds, topology=topologies)
+@settings(max_examples=12, deadline=None)
+def test_drawn_sizes_respect_the_config_bounds(seed, topology):
+    config = replace(SMALL, seed=seed, topology=topology)
+    scenario = synthesize_scenario(config)
+    tables = scenario.schema.table_names
+    assert config.min_relations <= len(tables) <= config.max_relations
+    low = min(bounds[0] for bounds in config.rows_by_tier)
+    high = max(bounds[1] for bounds in config.rows_by_tier)
+    for name in tables:
+        assert low <= scenario.database.row_count(name) <= high
+    assert 1 <= len(scenario.queries) <= config.num_queries
+    assert len(scenario.delta_batches) == config.delta_batches
+    for batch in scenario.delta_batches:
+        assert len(batch) <= config.delta_queries
+    # Query names are unique across base and delta batches (corpus keys).
+    names = [q.name for q in scenario.all_queries]
+    assert len(names) == len(set(names))
+
+
+@given(seed=seeds)
+@settings(max_examples=12, deadline=None)
+def test_config_round_trips_through_dict(seed):
+    config = replace(SMALL, seed=seed)
+    assert SynthConfig.from_dict(config.to_dict()) == config

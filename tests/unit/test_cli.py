@@ -358,6 +358,7 @@ class TestUnifiedCli:
 
         assert set(cli.SUBCOMMANDS) == {
             "generate", "client", "vendor", "verify", "serve", "trace", "lint",
+            "fuzz",
         }
 
     def test_every_subcommand_resolves_to_a_callable(self):

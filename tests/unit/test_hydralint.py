@@ -191,8 +191,8 @@ class TestConfig:
         config = load_config(root / "pyproject.toml")
         if HAS_TOMLLIB:
             assert "HYD102" in config.rule_paths
-            # The parallel seams plus the five no-seam server edges; the
-            # pyproject table must mirror DEFAULT_LAYERING exactly.
+            # The parallel seams plus the no-seam server and fuzz edges;
+            # the pyproject table must mirror DEFAULT_LAYERING exactly.
             from repro.lint.rules.imports import DEFAULT_LAYERING
 
             assert len(config.layering) == len(DEFAULT_LAYERING)

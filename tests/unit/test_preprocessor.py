@@ -176,3 +176,18 @@ class TestErrors:
         aqp.plan.clear_annotations()
         workload = decompose_workload([aqp], toy_metadata)
         assert workload.total_constraints() == 0
+
+    def test_multi_column_disjunctive_filter_raises_decomposition_error(
+        self, toy_database, toy_metadata
+    ):
+        """Found by the differential fuzzer: box normalisation rejects a
+        disjunction spanning two columns with a plain ValueError, which
+        leaked through ``decompose_workload`` past every caller that
+        handles the documented ``DecompositionError`` contract."""
+        extractor = AQPExtractor(database=toy_database)
+        aqp = extractor.extract_sql(
+            "select count(*) from S where (S.A > 90 or S.B < 10)",
+            name="multicol_or",
+        )
+        with pytest.raises(DecompositionError, match="normalised to a box"):
+            decompose_workload([aqp], toy_metadata)
